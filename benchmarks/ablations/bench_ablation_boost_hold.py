@@ -1,0 +1,48 @@
+"""Ablation: touch-boost hold duration.
+
+The hold time trades power for responsiveness.  Too short and the
+section governor takes over before its content-rate window has seen
+the unclipped burst (quality regresses toward section-only); too long
+and the panel camps at 60 Hz after every touch (the saving erodes).
+The paper does not publish its hold value; the default here (1 s,
+matching the meter window) sits at the knee this sweep exposes.
+"""
+
+from repro.analysis.tables import format_table
+
+from conftest import ABLATION_APPS, publish, run_pair, saved_and_quality
+
+HOLDS_S = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def sweep():
+    rows = {}
+    for app in ABLATION_APPS:
+        for hold in HOLDS_S:
+            base, governed = run_pair(app, "section+boost",
+                                      boost_hold_s=hold)
+            rows[(app, hold)] = saved_and_quality(base, governed)
+    return rows
+
+
+def test_ablation_boost_hold(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["app", "hold (s)", "saved mW", "quality %"],
+        [[app, f"{hold:g}", f"{rows[(app, hold)][0]:.0f}",
+          f"{100 * rows[(app, hold)][1]:.1f}"]
+         for app in ABLATION_APPS for hold in HOLDS_S],
+        title="Ablation: touch-boost hold duration")
+    publish("ablation_boost_hold", table)
+
+    for app in ABLATION_APPS:
+        saved = [rows[(app, h)][0] for h in HOLDS_S]
+        quality = [rows[(app, h)][1] for h in HOLDS_S]
+        # Power: longer holds never save more (monotone cost up to
+        # stochastic jitter of a few mW).
+        assert saved[0] >= saved[-1] - 5.0, app
+        # Quality: the longest hold is at least as good as the
+        # shortest.
+        assert quality[-1] >= quality[0] - 0.02, app
+        # Even the longest hold still saves meaningful power.
+        assert saved[-1] > 25.0, app

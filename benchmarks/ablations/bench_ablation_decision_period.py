@@ -1,0 +1,62 @@
+"""Ablation: governor decision period and content-rate window.
+
+Two time constants control the governor's reactivity:
+
+* the **decision period** — how often the section table is consulted;
+* the **content-rate window** — how much history each measurement
+  averages.
+
+Short settings track bursts tightly (quality up, a little saving
+lost); long settings lag (power down at quality's expense).  With
+touch boosting enabled, the boost masks most of the window's quality
+cost — which is exactly why the paper can afford a simple 1 s window.
+"""
+
+from repro.analysis.tables import format_table
+
+from conftest import publish, run_pair, saved_and_quality
+
+PERIODS_S = (0.05, 0.2, 0.5, 1.0)
+WINDOWS_S = (0.5, 1.0, 2.0)
+
+APP = "Jelly Splash"
+
+
+def sweep():
+    rows = {}
+    for period in PERIODS_S:
+        base, governed = run_pair(APP, "section",
+                                  decision_period_s=period)
+        rows[("period", period)] = saved_and_quality(base, governed) + (
+            governed.panel.rate_switches,)
+    for window in WINDOWS_S:
+        base, governed = run_pair(APP, "section",
+                                  content_window_s=window)
+        rows[("window", window)] = saved_and_quality(base, governed) + (
+            governed.panel.rate_switches,)
+    return rows
+
+
+def test_ablation_decision_period_and_window(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["knob", "value (s)", "saved mW", "quality %", "rate switches"],
+        [[knob, f"{value:g}", f"{rows[(knob, value)][0]:.0f}",
+          f"{100 * rows[(knob, value)][1]:.1f}",
+          f"{rows[(knob, value)][2]}"]
+         for knob, value in rows],
+        title=f"Ablation: governor time constants ({APP}, section-only)")
+    publish("ablation_decision_period", table)
+
+    # Faster decisions switch the panel more often.
+    assert rows[("period", 0.05)][2] >= rows[("period", 1.0)][2]
+
+    # A longer window reacts more slowly: quality can only go down
+    # (or stay) as the window stretches.
+    assert rows[("window", 0.5)][1] >= rows[("window", 2.0)][1] - 0.03
+
+    # Every configuration still saves substantial power on the
+    # free-running game.
+    for key, (saved, quality, _) in rows.items():
+        assert saved > 100.0, key
+        assert quality > 0.5, key

@@ -1,0 +1,97 @@
+"""Extension benchmarks: multi-app scenarios and seed replication.
+
+* **scenario** — the governor must re-adapt when the workload changes
+  under it: within each segment of a messenger → game → feed scenario
+  it reaches the same operating point per-app sessions would, and the
+  scenario total is consistent with its parts;
+* **replication** — the paper's ± figures come from repeated runs; the
+  replicated comparison shows the game's saving is statistically real
+  (bootstrap CI excludes zero) with seed-to-seed spread far below the
+  mean.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.replication import replicate_comparison
+from repro.sim.scenario import (
+    ScenarioConfig,
+    ScenarioSegment,
+    run_scenario,
+)
+
+from conftest import SEED, publish
+
+SEGMENTS = (
+    ScenarioSegment("KakaoTalk", 20.0),
+    ScenarioSegment("Jelly Splash", 20.0),
+    ScenarioSegment("Facebook", 20.0),
+)
+
+
+def scenario_pair():
+    base = run_scenario(ScenarioConfig(segments=SEGMENTS,
+                                       governor="fixed", seed=SEED))
+    governed = run_scenario(ScenarioConfig(segments=SEGMENTS,
+                                           governor="section+boost",
+                                           seed=SEED))
+    return base, governed
+
+
+def test_extension_scenario(benchmark):
+    base, governed = benchmark.pedantic(scenario_pair, rounds=1,
+                                        iterations=1)
+    rows = []
+    savings = []
+    for i, segment in enumerate(governed.segments):
+        b = base.segment_power(base.segments[i]).mean_power_mw
+        g = governed.segment_power(segment).mean_power_mw
+        quality = governed.segment_quality(i, base)
+        savings.append(b - g)
+        rows.append([segment.profile.name, f"{b:.0f}", f"{b - g:.0f}",
+                     f"{100 * quality:.1f}"])
+    publish("extension_scenario", format_table(
+        ["segment", "baseline mW", "saved mW", "quality %"], rows,
+        title="Extension: messenger -> game -> feed scenario"))
+
+    # Every segment saves; the free-running game saves the most.
+    assert all(s > 30.0 for s in savings)
+    assert savings[1] == max(savings)
+
+    # Per-segment energies sum to the scenario total exactly.
+    total = governed.power_report().energy_mj
+    summed = sum(governed.segment_power(s).energy_mj
+                 for s in governed.segments)
+    assert abs(total - summed) < 1e-6 * total
+
+    # Quality holds through the app switches.
+    for i in range(len(SEGMENTS)):
+        assert governed.segment_quality(i, base) > 0.85
+
+    # The governor visibly re-adapts: the game segment runs a higher
+    # mean refresh than the messenger segment.
+    messenger = governed.panel.rate_history.mean(2.0, 20.0)
+    game = governed.panel.rate_history.mean(22.0, 40.0)
+    assert game > messenger + 3.0
+
+
+def test_extension_replication(benchmark):
+    comparison = benchmark.pedantic(
+        lambda: replicate_comparison("Jelly Splash",
+                                     seeds=(1, 2, 3, 4, 5),
+                                     duration_s=30.0),
+        rounds=1, iterations=1)
+    low, high = comparison.saving_confidence_interval()
+    publish("extension_replication", format_table(
+        ["app", "seeds", "saved mW", "quality %", "95% CI on saving"],
+        [[comparison.app, f"{len(comparison.seeds)}",
+          str(comparison.saved_stats), str(comparison.quality_stats),
+          f"[{low:.0f}, {high:.0f}] mW"]],
+        title="Extension: multi-seed replication"))
+
+    # The saving is statistically real and the spread is modest
+    # relative to the mean (the paper's tight ± figures).
+    assert comparison.saving_is_significant()
+    stats = comparison.saved_stats
+    assert stats.mean > 150.0
+    assert stats.std < 0.5 * stats.mean
+    # Quality is consistently high across seeds.
+    assert min(comparison.quality) > 0.9

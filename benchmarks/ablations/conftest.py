@@ -1,0 +1,50 @@
+"""Shared helpers for the ablation benchmarks.
+
+Each ablation sweeps one design choice DESIGN.md calls out and asserts
+the direction of the trade-off the paper's design implies.  Sessions
+here are shorter than the figure benchmarks (30 s, two representative
+apps) because each sweep runs several configurations.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.sim.session import SessionConfig, run_session
+
+OUT_DIR = pathlib.Path(__file__).parent.parent / "out"
+
+#: One idle-heavy general app and one free-running game: the two
+#: regimes every trade-off plays out differently in.
+ABLATION_APPS = ("Facebook", "Jelly Splash")
+
+DURATION_S = 30.0
+SEED = 11
+
+
+def publish(name: str, text: str) -> None:
+    """Print an ablation table and save it under out/."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_pair(app: str, governor: str, **overrides):
+    """A (fixed baseline, governed) session pair for one app."""
+    base = run_session(SessionConfig(app=app, governor="fixed",
+                                     duration_s=DURATION_S, seed=SEED))
+    governed = run_session(SessionConfig(app=app, governor=governor,
+                                         duration_s=DURATION_S,
+                                         seed=SEED, **overrides))
+    return base, governed
+
+
+def saved_and_quality(base, governed):
+    """(saved mW, quality fraction) for one session pair."""
+    from repro.core.quality import quality_vs_baseline
+    saved = (base.power_report().mean_power_mw -
+             governed.power_report().mean_power_mw)
+    quality = quality_vs_baseline(governed.mean_content_rate_fps,
+                                  base.mean_content_rate_fps)
+    return saved, quality

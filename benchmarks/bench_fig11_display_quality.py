@@ -1,0 +1,42 @@
+"""Figure 11 — display quality per application.
+
+Paper shapes asserted here:
+
+* section-only control loses visible quality on the interaction-heavy
+  apps (80th-percentile floors around 55 % general / 85 % games);
+* touch boosting lifts quality to >= ~95 % for 80 % of apps in both
+  categories;
+* the full system keeps every app's quality above ~90 % (the paper's
+  closing claim: "more than 90 % for all of the applications").
+"""
+
+from repro.apps.profile import AppCategory
+from repro.experiments import fig11
+
+from conftest import publish
+
+
+def test_fig11_reproduction(survey, benchmark):
+    result = benchmark.pedantic(lambda: fig11.run(survey),
+                                rounds=1, iterations=1)
+    publish("fig11_display_quality", result.format())
+
+    # Section-only: the 80 %-of-apps floor shows visible degradation
+    # somewhere below boosting's.
+    for category in (AppCategory.GENERAL, AppCategory.GAME):
+        q_section = result.quality_80th(category, "section")
+        q_boost = result.quality_80th(category, "section+boost")
+        assert q_boost > q_section, category
+        # Paper floors: >= 55 % (general) / >= 85 % (games) section;
+        # >= 95 % with boosting.  Allow a few points of slack.
+        floor = 0.5 if category is AppCategory.GENERAL else 0.8
+        assert q_section >= floor, category
+        assert q_boost >= 0.9, category
+
+    # Every single app stays above ~90 % under the full system.
+    assert result.worst_quality("section+boost") >= 0.85
+
+    # Boosting helps (or at least never hurts) each individual app.
+    for row in result.rows:
+        assert row.quality["section+boost"] >= \
+            row.quality["section"] - 0.03, row.app_name

@@ -1,0 +1,51 @@
+"""Figure 2 — frame-rate traces of Facebook and Jelly Splash.
+
+Paper shape: Facebook's frame rate is "low most of the time, except
+when user requests occur"; Jelly Splash "remains at about 60 fps most
+of the time, even when the content of frame is not changed".
+"""
+
+import numpy as np
+
+from repro.experiments import fig2
+
+from conftest import publish
+
+DURATION_S = 60.0
+
+
+def test_fig2_reproduction(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig2.run(duration_s=DURATION_S, seed=1),
+        rounds=1, iterations=1)
+    publish("fig2_frame_rate_traces", result.format())
+
+    facebook = result.traces["Facebook"]
+    jelly = result.traces["Jelly Splash"]
+
+    # Facebook: low frame rate most of the time.
+    assert facebook.median_frame_rate < 15.0
+    # ... except around user requests: the peak bins are much higher.
+    assert facebook.frame_rate_fps.max() > \
+        3.0 * max(facebook.median_frame_rate, 1.0)
+
+    # Jelly Splash: pinned at ~60 fps by its free-running loop.
+    assert jelly.median_frame_rate > 55.0
+    assert float(np.mean(jelly.frame_rate_fps)) > 55.0
+
+    # ... even though its content rate is far lower (the redundancy
+    # that motivates the whole paper).
+    assert jelly.mean_redundant_rate > 30.0
+    assert float(np.mean(jelly.content_rate_fps)) < 30.0
+
+
+def test_fig2_trace_binning_kernel(benchmark):
+    """Micro-benchmark: turning an event log into a 1 s-binned trace."""
+    result = fig2.run(duration_s=DURATION_S, seed=1)
+    session_log = result.traces["Jelly Splash"]
+    del session_log
+    from repro.sim.tracing import EventLog
+    log = EventLog()
+    for t in np.linspace(0.01, DURATION_S - 0.01, 3600):
+        log.append(float(t))
+    benchmark(lambda: log.binned_rate(0.0, DURATION_S, 1.0))

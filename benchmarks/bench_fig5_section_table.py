@@ -1,0 +1,35 @@
+"""Figure 5 — the predefined section table, regenerated from Equation 1.
+
+A design artifact rather than a measurement, but the one place the
+paper prints exact numbers with no hardware in the loop — so the
+reproduction must match digit for digit: thresholds at 10/22/27/35 fps
+and the worked example (8 fps -> 20 Hz, 33 fps -> 40 Hz).
+"""
+
+from repro.experiments import fig5
+
+from conftest import publish
+
+
+def test_fig5_reproduction(benchmark):
+    result = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    publish("fig5_section_table", result.format())
+
+    assert result.matches_paper
+    for content, expected, selected in result.example_outcomes:
+        assert expected == selected, content
+
+    table = result.table
+    # The structural properties the paper derives Equation (1) for.
+    assert table.headroom_ok()
+    assert table.min_rate_hz == 20.0
+    assert table.max_rate_hz == 60.0
+    highs = [s.high for s in table.sections[:-1]]
+    assert highs == [10.0, 22.0, 27.0, 35.0]
+
+
+def test_fig5_lookup_kernel(benchmark):
+    """Micro-benchmark: one table lookup (runs every 200 ms on-device,
+    so it had better be trivial)."""
+    table = fig5.run().table
+    benchmark(lambda: table.lookup(23.7))

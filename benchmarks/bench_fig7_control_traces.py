@@ -1,0 +1,49 @@
+"""Figure 7 — content-rate / refresh-rate traces under control.
+
+Paper shapes asserted here:
+
+* with section-based control alone, the refresh rate lags sudden
+  content-rate rises around touches and frames are dropped;
+* touch boosting spikes the rate to maximum at touches, cutting the
+  dropped frames substantially and keeping quality high;
+* the refresh rate visibly fluctuates (the governor is really
+  switching panel modes, not parked).
+"""
+
+from repro.experiments import fig7
+
+from conftest import publish
+
+DURATION_S = 60.0
+
+
+def test_fig7_reproduction(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig7.run(duration_s=DURATION_S, seed=1),
+        rounds=1, iterations=1)
+    publish("fig7_control_traces", result.format())
+
+    for app in ("Facebook", "Jelly Splash"):
+        section = result.traces[(app, "section")]
+        boosted = result.traces[(app, "section+boost")]
+
+        # The governor is actively switching rates.
+        assert section.rate_switches >= 4, app
+        assert boosted.rate_switches >= 4, app
+
+        # Touch boosting fires on touches and drops fewer frames.
+        assert boosted.boosts > 0, app
+        assert boosted.dropped_fps <= section.dropped_fps + 0.05, app
+        assert boosted.quality >= section.quality - 0.02, app
+
+        # With boosting the quality is near-perfect (paper: the
+        # occurrence of frame dropping is significantly reduced).
+        assert boosted.quality > 0.9, app
+
+        # Both run well below the fixed 60 Hz on average.
+        assert section.mean_refresh_hz < 50.0, app
+
+    # Facebook (idle-heavy) reaches a lower mean refresh than the
+    # free-running game under the same policy.
+    assert result.traces[("Facebook", "section")].mean_refresh_hz < \
+        result.traces[("Jelly Splash", "section")].mean_refresh_hz + 10.0

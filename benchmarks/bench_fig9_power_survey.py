@@ -1,0 +1,56 @@
+"""Figure 9 — per-application power saving across the 30-app catalog.
+
+Paper shapes asserted here:
+
+* games save substantially more than general applications on average
+  (paper: ~290 mW vs ~120 mW);
+* the named general-app redundancy offenders (CGV, Daum Maps) save
+  game-like amounts;
+* touch boosting costs a small give-back in both categories (paper:
+  ~16 mW general, ~30 mW games), far smaller than the saving itself.
+"""
+
+from repro.apps.profile import AppCategory
+from repro.experiments import fig9
+
+from conftest import publish
+
+
+def test_fig9_reproduction(survey, benchmark):
+    result = benchmark.pedantic(lambda: fig9.run(survey),
+                                rounds=1, iterations=1)
+    publish("fig9_power_survey", result.format())
+
+    general_mean = result.category_mean(AppCategory.GENERAL, "section")
+    game_mean = result.category_mean(AppCategory.GAME, "section")
+
+    # Everyone saves on average; games save clearly more.
+    assert general_mean.mean > 50.0
+    assert game_mean.mean > 1.4 * general_mean.mean
+
+    # Magnitudes on the paper's order (calibrated, not measured).
+    assert 80.0 < general_mean.mean < 220.0
+    assert 180.0 < game_mean.mean < 420.0
+
+    # Named offenders: CGV and Daum Maps lead the general category.
+    by_name = {r.app_name: r for r in result.rows}
+    general_savings = sorted(
+        (r.saved_mw["section"], r.app_name)
+        for r in result.category_rows(AppCategory.GENERAL))
+    top_general = {name for _, name in general_savings[-6:]}
+    assert "CGV" in top_general
+    assert "Daum Maps" in top_general
+
+    # Genuinely high-content games (racing/runner) save the least
+    # among games: there is little redundancy to eliminate.
+    assert by_name["Asphalt 8"].saved_mw["section"] < \
+        by_name["Jelly Splash"].saved_mw["section"]
+
+    # Touch boosting: small give-back, far below the saving.
+    for category in (AppCategory.GENERAL, AppCategory.GAME):
+        giveback = result.boost_giveback(category)
+        section_mean = result.category_mean(category, "section").mean
+        assert 0.0 <= giveback < 0.5 * section_mean
+
+    # No app is made worse than the fixed baseline by the full system.
+    assert all(r.saved_mw["section+boost"] > -10.0 for r in result.rows)

@@ -1,0 +1,67 @@
+"""Infrastructure benchmarks: the simulator's own performance.
+
+Not a paper artifact — a regression net for the library.  The survey
+behind Figures 3/9/10/11 runs ~90 sessions; these benches pin the cost
+of the hot paths so a change that makes sessions 10x slower fails
+loudly here rather than silently doubling the benchmark suite's wall
+time.
+"""
+
+import numpy as np
+
+from repro.core.content_rate import ContentRateMeter, MeterConfig
+from repro.graphics.framebuffer import Framebuffer
+from repro.sim.engine import Simulator
+from repro.sim.session import SessionConfig, run_session
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-fire cost of the event core."""
+
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick(s):
+            count[0] += 1
+            if count[0] < 10_000:
+                s.call_after(0.001, tick)
+
+        sim.call_after(0.001, tick)
+        sim.run_until(100.0)
+        return count[0]
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_meter_frame_update_throughput(benchmark):
+    """Per-frame metering cost at the paper's 9K operating point on
+    the scaled simulation framebuffer."""
+    fb = Framebuffer(90, 160)
+    meter = ContentRateMeter(fb, MeterConfig(sample_count=9216))
+    frames = [np.full(fb.shape, v % 256, dtype=np.uint8)
+              for v in range(32)]
+    state = {"i": 0, "t": 0.0}
+
+    def one_update():
+        state["i"] = (state["i"] + 1) % len(frames)
+        state["t"] += 1e-3
+        fb.write(frames[state["i"]], state["t"])
+
+    benchmark(one_update)
+    assert meter.total_frames > 0
+
+
+def test_session_wall_time_per_simulated_second(benchmark):
+    """A full governed session should simulate much faster than real
+    time (the survey depends on it)."""
+
+    def run_one():
+        return run_session(SessionConfig(
+            app="Jelly Splash", governor="section+boost",
+            duration_s=10.0, seed=1))
+
+    result = benchmark.pedantic(run_one, rounds=3, iterations=1)
+    assert result.duration_s == 10.0
+    # 10 simulated seconds of the heaviest app in well under 2 s.
+    assert benchmark.stats.stats.median < 2.0

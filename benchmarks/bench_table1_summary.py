@@ -1,0 +1,66 @@
+"""Table 1 — power-saving effect and display quality, category summary.
+
+Paper values: general apps save 18.6 % (±8.93) with 74.1 % (±15.6)
+quality under section-only control; games save more in absolute mW
+with 88.5 % (±6.0) quality; touch boosting trades a small slice of the
+saving for ~96 % quality in both categories.  The closing claim: "about
+230 mW of power reduction and 95 % of quality maintenance on average".
+"""
+
+from repro.apps.profile import AppCategory
+from repro.experiments import table1
+
+from conftest import publish
+
+
+def test_table1_reproduction(survey, benchmark):
+    result = benchmark.pedantic(lambda: table1.run(survey),
+                                rounds=1, iterations=1)
+    publish("table1_summary", result.format())
+
+    gen_sec = result.cell(AppCategory.GENERAL, "section")
+    gen_tb = result.cell(AppCategory.GENERAL, "section+boost")
+    game_sec = result.cell(AppCategory.GAME, "section")
+    game_tb = result.cell(AppCategory.GAME, "section+boost")
+
+    # Each cell covers the full category.
+    for cell in (gen_sec, gen_tb, game_sec, game_tb):
+        assert cell.n_apps == 15
+
+    # Saved power: double-digit percentages for both categories
+    # (paper: 18.6 % general; games comparable in % and larger in mW).
+    assert 10.0 < gen_sec.saved_power_percent.mean < 30.0
+    assert 10.0 < game_sec.saved_power_percent.mean < 35.0
+    assert game_sec.saved_power_mw.mean > gen_sec.saved_power_mw.mean
+
+    # Boosting gives back a little power in both categories...
+    assert gen_tb.saved_power_percent.mean < \
+        gen_sec.saved_power_percent.mean
+    assert game_tb.saved_power_percent.mean < \
+        game_sec.saved_power_percent.mean
+    # ... but keeps the majority of the saving.
+    assert gen_tb.saved_power_mw.mean > 0.6 * gen_sec.saved_power_mw.mean
+    assert game_tb.saved_power_mw.mean > \
+        0.6 * game_sec.saved_power_mw.mean
+
+    # Quality: boosting lifts both categories to ~95 %+ and shrinks
+    # the spread (paper: ±15.6 -> ±2.7 general, ±6.0 -> ±1.4 games).
+    assert gen_tb.display_quality_percent.mean > 93.0
+    assert game_tb.display_quality_percent.mean > 93.0
+    assert gen_tb.display_quality_percent.mean > \
+        gen_sec.display_quality_percent.mean
+    assert game_tb.display_quality_percent.mean > \
+        game_sec.display_quality_percent.mean
+    assert gen_tb.display_quality_percent.std < \
+        gen_sec.display_quality_percent.std
+    assert game_tb.display_quality_percent.std < \
+        game_sec.display_quality_percent.std
+
+    # The closing average: full system keeps ~95 % quality while
+    # saving a triple-digit mW average across all 30 apps.
+    all_quality = (gen_tb.display_quality_percent.mean +
+                   game_tb.display_quality_percent.mean) / 2.0
+    all_saved = (gen_tb.saved_power_mw.mean +
+                 game_tb.saved_power_mw.mean) / 2.0
+    assert all_quality > 94.0
+    assert all_saved > 100.0

@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every ``bench_*`` file regenerates one of the paper's tables/figures:
+it prints the same rows/series the paper reports, saves them under
+``benchmarks/out/``, asserts the qualitative *shape* of the result
+(who wins, by roughly what factor, where the crossovers fall), and
+times a representative kernel with pytest-benchmark.
+
+The 30-app survey behind Figures 3/9/10/11 and Table 1 is run once per
+pytest process and shared through :mod:`repro.experiments.survey`'s
+in-process cache.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.survey import SurveyConfig, run_survey
+
+#: The survey configuration every survey-based benchmark shares.
+#: 45 s per session is enough for stable means (the paper uses ~180 s
+#: on hardware); seed 1 matches the calibration runs in EXPERIMENTS.md.
+BENCH_SURVEY = SurveyConfig(duration_s=45.0, seed=1)
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def survey():
+    """The shared 30-app x 3-governor sweep."""
+    return run_survey(BENCH_SURVEY)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a figure/table reproduction and save it to out/."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Survey a slice of the 30-app catalog (Figures 3/9/11 in miniature).
+
+For each selected application this runs the fixed-60 Hz baseline and
+the full proposed system, then prints the redundancy split, the power
+saving, and the display quality — one row per app, like the paper's
+per-app bar charts.
+
+Run:  python examples/app_survey.py [app ...]
+      (no arguments: a representative six-app slice)
+"""
+
+import sys
+
+from repro import SessionConfig, all_app_names, app_profile, run_session
+from repro.core import quality_vs_baseline
+
+DEFAULT_APPS = ("Facebook", "MX Player", "Cash Slide", "Jelly Splash",
+                "TempleRun", "Tiny Flashlight")
+DURATION_S = 40.0
+SEED = 2
+
+
+def survey_app(name: str) -> dict:
+    base = run_session(SessionConfig(app=name, governor="fixed",
+                                     duration_s=DURATION_S, seed=SEED))
+    governed = run_session(SessionConfig(app=name,
+                                         governor="section+boost",
+                                         duration_s=DURATION_S,
+                                         seed=SEED))
+    base_power = base.power_report().mean_power_mw
+    gov_power = governed.power_report().mean_power_mw
+    return {
+        "category": app_profile(name).category.value,
+        "frame_fps": base.mean_frame_rate_fps,
+        "content_fps": base.mean_content_rate_fps,
+        "redundant_fps": base.mean_redundant_rate_fps,
+        "baseline_mw": base_power,
+        "saved_mw": base_power - gov_power,
+        "quality": quality_vs_baseline(governed.mean_content_rate_fps,
+                                       base.mean_content_rate_fps),
+    }
+
+
+def main() -> None:
+    apps = sys.argv[1:] or list(DEFAULT_APPS)
+    known = set(all_app_names())
+    unknown = [a for a in apps if a not in known]
+    if unknown:
+        raise SystemExit(f"unknown apps {unknown}; choose from "
+                         f"{sorted(known)}")
+
+    print(f"{'app':16s} {'category':8s} {'frame':>6s} {'content':>8s} "
+          f"{'redund.':>8s} {'power mW':>9s} {'saved mW':>9s} "
+          f"{'quality':>8s}")
+    for name in apps:
+        row = survey_app(name)
+        print(f"{name:16s} {row['category']:8s} "
+              f"{row['frame_fps']:6.1f} {row['content_fps']:8.1f} "
+              f"{row['redundant_fps']:8.1f} {row['baseline_mw']:9.0f} "
+              f"{row['saved_mw']:9.0f} {100 * row['quality']:7.1f}%")
+
+    print("\nReading the table: savings track the *redundant* frame "
+          "rate, not the\nframe rate — MX Player (24 fps of genuine "
+          "video) saves only the panel\ncomponent, while Jelly Splash "
+          "(mostly redundant 60 fps) collapses to\nthe content's real "
+          "needs.  Quality stays near 100% everywhere because\ntouch "
+          "boosting absorbs the interaction bursts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Watch the governor work: a Figure 7-style control trace in ASCII.
+
+Runs Facebook under section-based control with and without touch
+boosting and renders the refresh rate and measured content rate second
+by second, with touch instants marked.  The paper's two mechanisms are
+visible directly in the timeline:
+
+* after a touch, section-only control climbs the table one level at a
+  time (24 -> 30 -> 40 ...), dropping frames while it lags;
+* touch boosting jumps straight to 60 Hz at the touch and hands back
+  to the table once the meter has caught up.
+
+Run:  python examples/control_trace.py
+"""
+
+from repro import SessionConfig, run_session
+from repro.analysis.ascii_plot import timeline as level_timeline
+
+APP = "Facebook"
+DURATION_S = 40.0
+SEED = 6
+
+#: Galaxy S3 refresh levels and their timeline symbols.
+LEVELS = (20.0, 24.0, 30.0, 40.0, 60.0)
+SYMBOLS = "_.-=#"
+
+
+def timeline(result) -> str:
+    centers, _ = result.meter.meaningful_frames.binned_rate(
+        0.0, DURATION_S, 1.0)
+    refresh = result.panel.rate_history.sample(centers)
+    return level_timeline(refresh, levels=LEVELS, symbols=SYMBOLS)
+
+
+def touch_line(result) -> str:
+    marks = [" "] * int(DURATION_S)
+    for t in result.touch_script.times:
+        marks[min(int(t), len(marks) - 1)] = "T"
+    return "".join(marks)
+
+
+def main() -> None:
+    sessions = {
+        governor: run_session(SessionConfig(
+            app=APP, governor=governor, duration_s=DURATION_S,
+            seed=SEED))
+        for governor in ("section", "section+boost")
+    }
+
+    legend = "  ".join(f"{symbol}={rate:g}Hz"
+                       for symbol, rate in zip(SYMBOLS, LEVELS))
+    print(f"{APP}, {DURATION_S:.0f} s, one character per second "
+          f"(T marks a touch)\nrefresh-rate legend: {legend}\n")
+    any_result = next(iter(sessions.values()))
+    print(f"{'touches':16s} {touch_line(any_result)}")
+    for governor, result in sessions.items():
+        print(f"{governor:16s} {timeline(result)}")
+
+    print()
+    for governor, result in sessions.items():
+        switches = result.panel.rate_switches
+        boosts = getattr(result.driver.policy, "boosts", 0)
+        print(f"{governor:16s} mean refresh "
+              f"{result.mean_refresh_rate_hz:5.1f} Hz, "
+              f"{switches:3d} rate switches, {boosts:3d} boosts")
+
+    print("\nNotice the '#' bursts: with boosting they start exactly "
+          "at each 'T';\nwithout it the trace ramps through "
+          "'.'/'-'/'=' first — those ramp\nseconds are where Figure "
+          "7(a)'s dropped frames live.")
+
+
+if __name__ == "__main__":
+    main()

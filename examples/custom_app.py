@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Author a custom application profile and compare every governor.
+
+The catalog's 30 apps are synthetic profiles fit to the paper's survey;
+this example shows the full profile surface by defining a new app — a
+turn-based strategy game with a slow map animation, heavy touch bursts,
+and a wasteful free-running render loop — and racing all seven governor
+configurations on the identical workload.
+
+Run:  python examples/custom_app.py
+"""
+
+from repro import (
+    AppCategory,
+    AppProfile,
+    GOVERNOR_CHOICES,
+    SessionConfig,
+    run_session,
+)
+from repro.apps.profile import ContentProcess, RenderStyle
+from repro.core import quality_vs_baseline
+
+MY_GAME = AppProfile(
+    name="Turnwise Tactics",
+    category=AppCategory.GAME,
+    idle_content_fps=5.0,        # slow idle map animation
+    active_content_fps=40.0,     # unit-move animations after a tap
+    burst_duration_s=2.5,
+    content_process=ContentProcess.ANIMATION,
+    idle_submit_fps=60.0,        # wasteful free-running loop
+    render_style=RenderStyle.SCENE,
+    render_cost_mj=5.0,
+    cpu_base_mw=260.0,
+    touch_events_per_s=0.3,
+    scroll_fraction=0.1,
+    notes="example custom profile",
+)
+
+DURATION_S = 40.0
+SEED = 8
+
+
+def main() -> None:
+    print(f"Racing all governors on {MY_GAME.name!r} "
+          f"({DURATION_S:.0f} s, identical workload)...\n")
+
+    results = {
+        governor: run_session(SessionConfig(
+            app=MY_GAME, governor=governor, duration_s=DURATION_S,
+            seed=SEED))
+        for governor in GOVERNOR_CHOICES
+    }
+    baseline = results["fixed"]
+    base_power = baseline.power_report().mean_power_mw
+    base_content = baseline.mean_content_rate_fps
+
+    print(f"{'governor':20s} {'saved mW':>9s} {'quality':>8s} "
+          f"{'refresh Hz':>11s} {'switches':>9s}")
+    for governor, result in results.items():
+        saved = base_power - result.power_report().mean_power_mw
+        quality = quality_vs_baseline(result.mean_content_rate_fps,
+                                      base_content)
+        print(f"{governor:20s} {saved:9.0f} {100 * quality:7.1f}% "
+              f"{result.mean_refresh_rate_hz:11.1f} "
+              f"{result.panel.rate_switches:9d}")
+
+    print("\nHow to read this:")
+    print("  * 'oracle' is the upper bound (it reads the true content "
+          "rate);")
+    print("  * 'section+boost' should sit close to it — that is the "
+          "paper's result;")
+    print("  * 'naive' saves the most only by latching low and "
+          "butchering quality;")
+    print("  * 'e3' reacts to touches but is blind to the idle "
+          "animation;")
+    print("  * 'section+hysteresis' trades a few mW for far fewer "
+          "panel mode switches.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Port the scheme to a different panel (the paper's Equation 1 note).
+
+"Note that the thresholds should be redefined when the available
+refresh rates are changed."  This example builds the section table for
+three very different panels — the paper's Galaxy S3, a coarse
+three-level display, and a modern LTPO panel with levels from 1 to
+120 Hz — prints each Figure-5-style table, and runs the same idle-heavy
+application on all of them to show how a deeper level set converts
+directly into deeper savings.
+
+Run:  python examples/custom_device.py
+"""
+
+from repro import (
+    GALAXY_S3_PANEL,
+    LTPO_120_PANEL,
+    PanelSpec,
+    SectionTable,
+    SessionConfig,
+    run_session,
+)
+
+#: A hypothetical mid-range panel, defined from scratch: resolution
+#: plus the discrete refresh rates its driver IC supports.  That is
+#: all the scheme needs to know about a device.
+CUSTOM_PANEL = PanelSpec(
+    name="Custom mid-range panel",
+    width=1080,
+    height=2340,
+    refresh_rates_hz=(30.0, 60.0, 90.0),
+)
+
+APP = "Facebook"
+DURATION_S = 40.0
+SEED = 4
+
+
+def show_table(spec: PanelSpec) -> None:
+    print(f"--- {spec.name} "
+          f"(levels: {', '.join(f'{r:g}' for r in spec.refresh_rates_hz)}"
+          f" Hz) ---")
+    print(SectionTable.for_panel(spec).describe())
+    print()
+
+
+def run_panel(spec: PanelSpec) -> None:
+    base = run_session(SessionConfig(app=APP, governor="fixed",
+                                     duration_s=DURATION_S, seed=SEED,
+                                     panel=spec))
+    governed = run_session(SessionConfig(app=APP,
+                                         governor="section+boost",
+                                         duration_s=DURATION_S,
+                                         seed=SEED, panel=spec))
+    saved = (base.power_report().mean_power_mw -
+             governed.power_report().mean_power_mw)
+    print(f"{spec.name:28s} mean refresh "
+          f"{governed.mean_refresh_rate_hz:5.1f} Hz   "
+          f"saved {saved:5.0f} mW")
+
+
+def main() -> None:
+    for spec in (GALAXY_S3_PANEL, CUSTOM_PANEL, LTPO_120_PANEL):
+        show_table(spec)
+
+    print(f"Running {APP} ({DURATION_S:.0f} s, same workload) on each "
+          f"panel:\n")
+    for spec in (GALAXY_S3_PANEL, CUSTOM_PANEL, LTPO_120_PANEL):
+        run_panel(spec)
+
+    print("\nThe governor code is untouched across panels — only the "
+          "section table\nis rebuilt from the level set.  The LTPO "
+          "panel's 1-10 Hz levels let an\nidle feed app park far below "
+          "the Galaxy S3's 20 Hz floor, which is\nexactly where modern "
+          "adaptive-refresh phones get their gains.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Stutter, smooth mode, and panel type: three extension studies.
+
+The paper reports average display quality; this example digs into the
+parts a product team would ask about next:
+
+1. **Jank** — are the dropped frames scattered (invisible) or bunched
+   into freezes (very visible)?  `repro.analysis.jank` extracts the
+   run structure.
+2. **Smooth mode** — `SessionConfig(table_bias=1)` shifts every
+   section of the Equation (1) table one refresh level up: a
+   quality-priority knob between the paper's table and fixed 60 Hz.
+3. **Panel type** — the same sessions priced under an LCD calibration:
+   on a backlight-dominated panel the governor saves less, a caveat a
+   single-device evaluation cannot show.
+
+Run:  python examples/jank_and_modes.py
+"""
+
+from repro import PowerModel, SessionConfig, run_session
+from repro.analysis.jank import session_jank
+from repro.core import quality_vs_baseline
+from repro.power.calibration import lcd_phone_calibration
+
+APP = "Jelly Splash"
+DURATION_S = 40.0
+SEED = 2
+
+CONFIGS = (
+    ("fixed 60 Hz", dict(governor="fixed")),
+    ("section (paper)", dict(governor="section")),
+    ("section, smooth mode", dict(governor="section", table_bias=1)),
+    ("section + boost", dict(governor="section+boost")),
+)
+
+
+def main() -> None:
+    print(f"{APP}, {DURATION_S:.0f} s, identical workload "
+          f"(seed {SEED}):\n")
+
+    sessions = {
+        label: run_session(SessionConfig(app=APP,
+                                         duration_s=DURATION_S,
+                                         seed=SEED, **kwargs))
+        for label, kwargs in CONFIGS
+    }
+    base = sessions["fixed 60 Hz"]
+    base_power = base.power_report().mean_power_mw
+    lcd_model = PowerModel(lcd_phone_calibration())
+    base_lcd = base.power_report(lcd_model).mean_power_mw
+
+    print(f"{'configuration':22s} {'saved mW':>9s} {'lcd saved':>10s} "
+          f"{'quality':>8s} {'lost %':>7s} {'stutters/min':>13s} "
+          f"{'worst run':>10s}")
+    for label, result in sessions.items():
+        saved = base_power - result.power_report().mean_power_mw
+        saved_lcd = base_lcd - \
+            result.power_report(lcd_model).mean_power_mw
+        quality = quality_vs_baseline(result.mean_content_rate_fps,
+                                      base.mean_content_rate_fps)
+        jank = session_jank(result, min_run=2)
+        print(f"{label:22s} {saved:9.0f} {saved_lcd:10.0f} "
+              f"{100 * quality:7.1f}% {100 * jank.lost_fraction:6.1f}% "
+              f"{jank.episodes_per_minute:13.2f} "
+              f"{jank.worst_run:10d}")
+
+    print("\nReading the table:")
+    print("  * section-only loses a quarter of the game's burst "
+          "frames — but as\n    scattered judder (runs of 1-2), not "
+          "long freezes: at these content/\n    refresh ratios the "
+          "drops interleave.  The jank columns make the\n    *shape* "
+          "of the loss visible, which the average quality % cannot;")
+    print("  * smooth mode (one level of extra headroom) recovers "
+          "half the lost\n    frames for ~110 mW of the saving — "
+          "without any touch information;")
+    print("  * touch boosting gets both: near-zero loss and most of "
+          "the saving;")
+    print("  * every saving shrinks on the LCD calibration — the "
+          "scheme's appeal is\n    strongest on emission-efficient "
+          "panels with costly scan-out.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""A realistic usage scenario: messaging, a game, then the feed.
+
+Single-app sessions answer "how much does app X save"; a scenario
+answers the question a battery engineer actually asks: what happens
+over a stretch of *real use*, where the workload changes under the
+governor?  This example runs a three-segment scenario — KakaoTalk,
+Jelly Splash, Facebook — in one simulation: app switches tear down the
+old surface, flash a launch frame, and start the next app's own Monkey
+script, while the display manager keeps running throughout.
+
+Run:  python examples/usage_scenario.py
+"""
+
+from repro import ScenarioConfig, ScenarioSegment, run_scenario
+
+SEGMENTS = (
+    ScenarioSegment("KakaoTalk", 25.0),
+    ScenarioSegment("Jelly Splash", 25.0),
+    ScenarioSegment("Facebook", 25.0),
+)
+SEED = 1
+
+
+def main() -> None:
+    print("Running a 75 s usage scenario (messenger -> game -> feed) "
+          "under the\nfixed baseline and the full proposed system...\n")
+
+    base = run_scenario(ScenarioConfig(segments=SEGMENTS,
+                                       governor="fixed", seed=SEED))
+    governed = run_scenario(ScenarioConfig(segments=SEGMENTS,
+                                           governor="section+boost",
+                                           seed=SEED))
+
+    print(f"{'segment':14s} {'window':>9s} {'baseline mW':>12s} "
+          f"{'saved mW':>9s} {'quality':>8s} {'refresh Hz':>11s}")
+    for i, segment in enumerate(governed.segments):
+        b = base.segment_power(base.segments[i]).mean_power_mw
+        g = governed.segment_power(segment).mean_power_mw
+        quality = governed.segment_quality(i, base)
+        refresh = governed.panel.rate_history.mean(segment.start_s,
+                                                   segment.end_s)
+        print(f"{segment.profile.name:14s} "
+              f"{segment.start_s:3.0f}-{segment.end_s:3.0f} s "
+              f"{b:12.0f} {b - g:9.0f} {100 * quality:7.1f}% "
+              f"{refresh:11.1f}")
+
+    total_base = base.power_report()
+    total_gov = governed.power_report()
+    saved = total_base.mean_power_mw - total_gov.mean_power_mw
+    energy_saved = total_base.energy_mj - total_gov.energy_mj
+    print(f"\nScenario total: {saved:.0f} mW mean saving "
+          f"({energy_saved / 1000:.1f} J over 75 s), "
+          f"{governed.panel.rate_switches} panel mode switches.")
+    print("\nThe governor re-adapts within a second of each app "
+          "switch: it camps at\n20-24 Hz for the messenger, rides "
+          "24-60 Hz through the game's bursts,\nand drops again for "
+          "the feed — no per-app configuration anywhere.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Reproduce the metering-accuracy study (Figure 6) interactively.
+
+The grid comparator only looks at one pixel per grid cell, so a small
+enough change can slip between the samples.  The paper stresses the
+meter with the Nexus Revamped live wallpaper — a handful of small dots
+drifting across an otherwise static screen — and sweeps the number of
+compared pixels.  This example runs that sweep at the native 720x1280
+resolution and also times the comparison itself against the 16.67 ms
+V-Sync budget.
+
+Run:  python examples/wallpaper_accuracy.py
+"""
+
+from repro.experiments import fig6
+from repro.units import VSYNC_DEADLINE_60HZ_S
+
+
+def main() -> None:
+    print("Sweeping the Figure 6 pixel budgets on the moving-dots "
+          "stressor\n(two 12x12 px dots jumping a dot-width per frame, "
+          "20 fps, 720x1280)...\n")
+    result = fig6.run(duration_s=12.0, seed=3, repeats=40)
+    print(result.format())
+
+    exact = [a for a in result.accuracy if a.error_rate == 0.0]
+    cheapest_exact = min(exact, key=lambda a: a.sample_count)
+    print(f"\nThe V-Sync budget at 60 Hz is "
+          f"{1e3 * VSYNC_DEADLINE_60HZ_S:.2f} ms per frame; comparing "
+          f"all 921K pixels\nblows it, while the "
+          f"{cheapest_exact.label} grid "
+          f"({cheapest_exact.grid_width}x"
+          f"{cheapest_exact.grid_height} samples) is the smallest "
+          f"budget with zero\nerror — the paper's operating point.  "
+          f"The knife edge is geometric: a\n12 px dot always covers a "
+          f"sample of the 10 px-cell (9K) grid but can\nslip between "
+          f"the 15 px (4K) and 20 px (2K) grids' samples.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,183 @@
+"""repro — Content-centric Display Energy Management for Mobile Devices.
+
+A full offline reproduction of Kim, Jung & Cha (DAC 2014): the
+**content rate** metric, its low-cost measurement via double buffering
+and grid-based framebuffer comparison, and the **section-based
+refresh-rate control** with **touch boosting** that cuts display-path
+power without visible quality loss — all running on a simulated
+Android-style display pipeline (surfaces, compositor, V-Sync, panel
+with discrete refresh levels, calibrated power model, Monkey-style
+input, and a 30-app synthetic workload catalog).
+
+Quickstart
+----------
+>>> from repro import SessionConfig, run_session
+>>> baseline = run_session(SessionConfig(app="Jelly Splash",
+...                                      governor="fixed",
+...                                      duration_s=30.0, seed=1))
+>>> governed = run_session(SessionConfig(app="Jelly Splash",
+...                                      governor="section+boost",
+...                                      duration_s=30.0, seed=1))
+>>> saved = (baseline.power_report().mean_power_mw
+...          - governed.power_report().mean_power_mw)
+>>> saved > 0
+True
+"""
+
+from .apps import (
+    AppCategory,
+    AppProfile,
+    Application,
+    GAME_APP_NAMES,
+    GENERAL_APP_NAMES,
+    LiveWallpaper,
+    WallpaperProfile,
+    all_app_names,
+    app_profile,
+    nexus_revamped,
+)
+from .baselines import (
+    E3ScrollGovernor,
+    FixedRefreshGovernor,
+    NaiveMatchGovernor,
+    OracleGovernor,
+)
+from .core import (
+    ContentCentricManager,
+    ContentRateMeter,
+    DoubleBuffer,
+    GridComparator,
+    GridSpec,
+    ManagerConfig,
+    MeterConfig,
+    QualityReport,
+    SampledDoubleBuffer,
+    Section,
+    SectionBasedGovernor,
+    SectionTable,
+    TouchBoostGovernor,
+    compute_quality,
+)
+from .display import (
+    DisplayPanel,
+    FIXED_60_PANEL,
+    GALAXY_S3_PANEL,
+    LTPO_120_PANEL,
+    PanelSpec,
+    THREE_LEVEL_PANEL,
+    panel_preset,
+    panel_preset_names,
+)
+from .errors import (
+    ConfigurationError,
+    DisplayError,
+    GraphicsError,
+    MeteringError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from .graphics import Framebuffer, Surface, SurfaceManager
+from .inputs import (
+    MonkeyConfig,
+    MonkeyScriptGenerator,
+    TouchEvent,
+    TouchKind,
+    TouchScript,
+    TouchSource,
+)
+from .power import (
+    MonsoonMeter,
+    PowerCalibration,
+    PowerModel,
+    PowerReport,
+    galaxy_s3_calibration,
+)
+from .sim import Simulator
+from .sim.batch import run_batch, run_session_summary
+from .sim.scenario import (
+    ScenarioConfig,
+    ScenarioResult,
+    ScenarioSegment,
+    run_scenario,
+)
+from .sim.session import (
+    GOVERNOR_CHOICES,
+    SessionConfig,
+    SessionResult,
+    run_session,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppCategory",
+    "AppProfile",
+    "Application",
+    "ConfigurationError",
+    "ContentCentricManager",
+    "ContentRateMeter",
+    "DisplayError",
+    "DisplayPanel",
+    "DoubleBuffer",
+    "E3ScrollGovernor",
+    "FIXED_60_PANEL",
+    "FixedRefreshGovernor",
+    "Framebuffer",
+    "GALAXY_S3_PANEL",
+    "GAME_APP_NAMES",
+    "GENERAL_APP_NAMES",
+    "GOVERNOR_CHOICES",
+    "GraphicsError",
+    "GridComparator",
+    "GridSpec",
+    "LTPO_120_PANEL",
+    "LiveWallpaper",
+    "ManagerConfig",
+    "MeterConfig",
+    "MeteringError",
+    "MonkeyConfig",
+    "MonkeyScriptGenerator",
+    "MonsoonMeter",
+    "NaiveMatchGovernor",
+    "OracleGovernor",
+    "PanelSpec",
+    "PowerCalibration",
+    "PowerModel",
+    "PowerReport",
+    "QualityReport",
+    "ReproError",
+    "SampledDoubleBuffer",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "ScenarioSegment",
+    "Section",
+    "SectionBasedGovernor",
+    "SectionTable",
+    "SessionConfig",
+    "SessionResult",
+    "SimulationError",
+    "Simulator",
+    "Surface",
+    "SurfaceManager",
+    "THREE_LEVEL_PANEL",
+    "TouchBoostGovernor",
+    "TouchEvent",
+    "TouchKind",
+    "TouchScript",
+    "TouchSource",
+    "WallpaperProfile",
+    "WorkloadError",
+    "all_app_names",
+    "app_profile",
+    "compute_quality",
+    "galaxy_s3_calibration",
+    "nexus_revamped",
+    "panel_preset",
+    "panel_preset_names",
+    "run_batch",
+    "run_scenario",
+    "run_session",
+    "run_session_summary",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Analysis utilities: summary statistics and table aggregation.
+
+These helpers turn session traces into the numbers the paper reports:
+mean ± standard deviation per application category, "for 80 % of
+applications"-style percentile statements, and plain-text tables for
+benchmark output.
+"""
+
+from .aggregate import CategorySummary, MethodSummary, summarize_categories
+from .ascii_plot import bar_chart, sparkline, timeline
+from .export import (
+    session_summary_dict,
+    write_events_csv,
+    write_session_json,
+    write_trace_csv,
+)
+from .jank import JankReport, analyze_jank, session_jank
+from .latency import (
+    LatencyReport,
+    session_touch_latency,
+    touch_response_latencies,
+)
+from .stats import MeanStd, mean_std, percentile_of_apps, savings_percent
+from .tables import format_table
+
+__all__ = [
+    "CategorySummary",
+    "bar_chart",
+    "MeanStd",
+    "MethodSummary",
+    "JankReport",
+    "LatencyReport",
+    "analyze_jank",
+    "format_table",
+    "mean_std",
+    "percentile_of_apps",
+    "savings_percent",
+    "session_jank",
+    "session_summary_dict",
+    "session_touch_latency",
+    "sparkline",
+    "timeline",
+    "summarize_categories",
+    "touch_response_latencies",
+    "write_events_csv",
+    "write_session_json",
+    "write_trace_csv",
+]

@@ -1,0 +1,107 @@
+"""Category aggregation — the machinery behind Table 1.
+
+Given per-app measurements for one control method (power saved and
+display quality against the fixed-60 Hz baseline), aggregate them into
+the paper's category rows: mean ± std of saved power (%) and display
+quality (%) over the 15 apps of each category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from ..apps.profile import AppCategory
+from ..errors import ConfigurationError
+from .stats import MeanStd, mean_std
+
+
+@dataclass(frozen=True)
+class AppMeasurement:
+    """One app's outcome under one control method."""
+
+    app_name: str
+    category: AppCategory
+    baseline_power_mw: float
+    governed_power_mw: float
+    display_quality: float  # fraction in [0, 1]
+
+    @property
+    def saved_power_mw(self) -> float:
+        """Milliwatts saved against the fixed baseline."""
+        return self.baseline_power_mw - self.governed_power_mw
+
+    @property
+    def saved_power_percent(self) -> float:
+        """Percentage of baseline power saved."""
+        if self.baseline_power_mw <= 0:
+            raise ConfigurationError(
+                f"{self.app_name}: baseline power must be > 0")
+        return 100.0 * self.saved_power_mw / self.baseline_power_mw
+
+    @property
+    def display_quality_percent(self) -> float:
+        """Display quality as a percentage."""
+        return 100.0 * self.display_quality
+
+
+@dataclass(frozen=True)
+class MethodSummary:
+    """One (category, method) cell pair of Table 1."""
+
+    method: str
+    category: AppCategory
+    saved_power_percent: MeanStd
+    saved_power_mw: MeanStd
+    display_quality_percent: MeanStd
+    n_apps: int
+
+
+@dataclass(frozen=True)
+class CategorySummary:
+    """All methods' summaries for one category."""
+
+    category: AppCategory
+    methods: Dict[str, MethodSummary]
+
+
+def summarize_method(method: str, category: AppCategory,
+                     measurements: Sequence[AppMeasurement]
+                     ) -> MethodSummary:
+    """Aggregate one method over one category's apps."""
+    rows = [m for m in measurements if m.category is category]
+    if not rows:
+        raise ConfigurationError(
+            f"no measurements for category {category.value!r}")
+    return MethodSummary(
+        method=method,
+        category=category,
+        saved_power_percent=mean_std(
+            [m.saved_power_percent for m in rows]),
+        saved_power_mw=mean_std([m.saved_power_mw for m in rows]),
+        display_quality_percent=mean_std(
+            [m.display_quality_percent for m in rows]),
+        n_apps=len(rows),
+    )
+
+
+def summarize_categories(
+        per_method: Mapping[str, Sequence[AppMeasurement]]
+) -> List[CategorySummary]:
+    """Build the full Table 1 structure.
+
+    ``per_method`` maps a method name (e.g. ``"section"``,
+    ``"section+boost"``) to its per-app measurements across *both*
+    categories.
+    """
+    if not per_method:
+        raise ConfigurationError("no methods to summarize")
+    summaries = []
+    for category in (AppCategory.GENERAL, AppCategory.GAME):
+        methods = {
+            method: summarize_method(method, category, rows)
+            for method, rows in per_method.items()
+        }
+        summaries.append(CategorySummary(category=category,
+                                         methods=methods))
+    return summaries

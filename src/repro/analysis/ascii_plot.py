@@ -1,0 +1,101 @@
+"""Terminal plotting: sparklines and bar charts for trace inspection.
+
+The repository is terminal-first (no plotting dependencies), so the
+examples and benchmarks render their series as Unicode sparklines and
+horizontal bar charts.  These are deliberately tiny, deterministic, and
+fully tested — they are part of the public analysis API, not throwaway
+helpers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: Eight-level block characters, lowest to highest.
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float],
+              lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """Render a series as a one-line Unicode sparkline.
+
+    ``lo``/``hi`` pin the scale (defaults: the data's own min/max); a
+    flat series renders at the lowest level.  NaNs render as spaces.
+    """
+    if len(values) == 0:
+        raise ConfigurationError("sparkline of an empty series")
+    arr = np.asarray(values, dtype=float)
+    finite = arr[np.isfinite(arr)]
+    if len(finite) == 0:
+        return " " * len(arr)
+    lo = float(finite.min()) if lo is None else float(lo)
+    hi = float(finite.max()) if hi is None else float(hi)
+    if hi < lo:
+        raise ConfigurationError(f"hi ({hi}) must be >= lo ({lo})")
+    span = hi - lo
+    chars: List[str] = []
+    for value in arr:
+        if not np.isfinite(value):
+            chars.append(" ")
+            continue
+        if span == 0:
+            index = 0
+        else:
+            clipped = min(max(value, lo), hi)
+            index = int((clipped - lo) / span * (len(SPARK_LEVELS) - 1)
+                        + 0.5)
+        chars.append(SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 40, unit: str = "") -> str:
+    """Render a labelled horizontal bar chart.
+
+    Bars scale to the maximum value; each row shows the label, the
+    bar, and the numeric value.  Negative values render as empty bars
+    with the number shown (savings can legitimately be negative).
+    """
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"{len(labels)} labels for {len(values)} values")
+    if not labels:
+        raise ConfigurationError("bar chart needs at least one row")
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    peak = max((v for v in values if v > 0), default=0.0)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = 0 if peak <= 0 or value <= 0 else \
+            max(1, int(round(width * value / peak)))
+        bar = "█" * filled
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+                     f"{value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def timeline(values: Sequence[float], levels: Sequence[float],
+             symbols: str = "_.-=#") -> str:
+    """Map a series onto discrete level symbols (refresh-rate traces).
+
+    Each value is matched to the nearest entry of ``levels`` (ascending)
+    and rendered with the corresponding symbol — the Figure 7 trace as
+    one terminal line.
+    """
+    if len(levels) == 0:
+        raise ConfigurationError("timeline needs at least one level")
+    if len(levels) > len(symbols):
+        raise ConfigurationError(
+            f"{len(levels)} levels but only {len(symbols)} symbols")
+    ordered = sorted(levels)
+    out = []
+    for value in values:
+        index = int(np.argmin([abs(value - lv) for lv in ordered]))
+        out.append(symbols[index])
+    return "".join(out)

@@ -1,0 +1,107 @@
+"""Trace export: session results to CSV / JSON for external plotting.
+
+The benchmark suite prints ASCII tables; anyone who wants the paper's
+actual *plots* needs the underlying series.  These helpers dump a
+session's traces in plain formats any plotting stack reads.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Union
+
+from ..errors import ConfigurationError
+
+PathLike = Union[str, pathlib.Path]
+
+
+def session_summary_dict(result) -> dict:
+    """A JSON-ready summary of one session."""
+    report = result.power_report()
+    quality = result.quality_report()
+    return {
+        "app": result.profile.name,
+        "category": result.profile.category.value,
+        "governor": result.governor_name,
+        "duration_s": result.duration_s,
+        "seed": result.config.seed,
+        "mean_power_mw": report.mean_power_mw,
+        "energy_mj": report.energy_mj,
+        "component_power_mw": report.component_power_mw(),
+        "mean_refresh_hz": result.mean_refresh_rate_hz,
+        "rate_switches": result.panel.rate_switches,
+        "frame_rate_fps": result.mean_frame_rate_fps,
+        "content_rate_fps": result.mean_content_rate_fps,
+        "redundant_rate_fps": result.mean_redundant_rate_fps,
+        "display_quality": quality.display_quality,
+        "dropped_fps": quality.dropped_fps,
+        "touches": len(result.touch_script),
+    }
+
+
+def write_session_json(result, path: PathLike) -> pathlib.Path:
+    """Write the session summary as JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(session_summary_dict(result), indent=2)
+                    + "\n")
+    return path
+
+
+def write_trace_csv(result, path: PathLike,
+                    bin_width_s: float = 1.0) -> pathlib.Path:
+    """Write the binned time series of one session as CSV.
+
+    Columns: ``time_s, frame_rate_fps, content_rate_fps,
+    measured_content_fps, refresh_hz, power_mw`` — everything Figures
+    2, 7 and 8 plot, on a shared time axis.
+    """
+    if bin_width_s <= 0:
+        raise ConfigurationError("bin_width_s must be > 0")
+    duration = result.duration_s
+    centers, frame_rate = result.compositions.binned_rate(
+        0.0, duration, bin_width_s)
+    _, content_rate = result.meaningful_compositions.binned_rate(
+        0.0, duration, bin_width_s)
+    _, measured = result.meter.meaningful_frames.binned_rate(
+        0.0, duration, bin_width_s)
+    refresh = result.panel.rate_history.sample(centers)
+    _, power = result.power_trace(bin_width_s=bin_width_s)
+
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s", "frame_rate_fps",
+                         "content_rate_fps", "measured_content_fps",
+                         "refresh_hz", "power_mw"])
+        for row in zip(centers, frame_rate, content_rate, measured,
+                       refresh, power):
+            writer.writerow([f"{value:.6g}" for value in row])
+    return path
+
+
+def write_events_csv(result, path: PathLike) -> pathlib.Path:
+    """Write the raw event timeline of one session as CSV.
+
+    One row per event: ``time_s, kind`` where kind is one of
+    ``touch``, ``content_change``, ``frame_update``,
+    ``meaningful_frame``.
+    """
+    events = []
+    events += [(t, "touch") for t in result.touch_script.times]
+    events += [(float(t), "content_change")
+               for t in result.application.content_changes.times]
+    events += [(float(t), "frame_update")
+               for t in result.compositions.times]
+    events += [(float(t), "meaningful_frame")
+               for t in result.meaningful_compositions.times]
+    events.sort()
+
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s", "kind"])
+        for time, kind in events:
+            writer.writerow([f"{time:.6f}", kind])
+    return path

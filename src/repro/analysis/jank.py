@@ -1,0 +1,123 @@
+"""Jank analysis: stutter structure of dropped frames (extension).
+
+The paper's quality metric is a session-average ratio, but users do
+not perceive averages — they perceive *stutter*: several consecutive
+content updates collapsing into one displayed frame reads as a visible
+hitch, while the same number of drops scattered one-by-one is
+invisible.  This module extracts the run structure of coalesced
+content from the ground-truth logs.
+
+Definitions
+-----------
+Between two consecutive displayed meaningful frames, every content
+instant beyond the first was coalesced (lost).  A **jank episode** is a
+display gap in which at least ``min_run`` content instants were lost —
+the user saw the screen freeze through several updates' worth of
+content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import ensure_positive, ensure_positive_int
+
+
+@dataclass(frozen=True)
+class JankReport:
+    """Stutter statistics for one session."""
+
+    duration_s: float
+    total_content: int
+    total_lost: int
+    episodes: Tuple[Tuple[float, int], ...]  # (gap end time, run len)
+    min_run: int
+
+    @property
+    def lost_fraction(self) -> float:
+        """Share of content instants that never displayed."""
+        if self.total_content == 0:
+            return 0.0
+        return self.total_lost / self.total_content
+
+    @property
+    def episodes_per_minute(self) -> float:
+        """Jank episodes per minute of session."""
+        return 60.0 * len(self.episodes) / self.duration_s
+
+    @property
+    def worst_run(self) -> int:
+        """Longest run of consecutively lost content instants."""
+        if not self.episodes:
+            return 0
+        return max(run for _, run in self.episodes)
+
+
+def analyze_jank(content_times: Sequence[float],
+                 displayed_times: Sequence[float],
+                 duration_s: float,
+                 min_run: int = 3) -> JankReport:
+    """Extract stutter structure from ground-truth event logs.
+
+    Parameters
+    ----------
+    content_times:
+        When the application generated distinct content (ground truth).
+    displayed_times:
+        When meaningful frames reached the framebuffer.
+    duration_s:
+        Session length.
+    min_run:
+        Lost-in-a-row threshold for an episode to count as jank
+        (3 consecutive lost updates at 30 fps content is a ~100 ms
+        freeze — squarely visible).
+    """
+    ensure_positive(duration_s, "duration_s")
+    ensure_positive_int(min_run, "min_run")
+    content = np.sort(np.asarray(list(content_times), dtype=float))
+    displayed = np.sort(np.asarray(list(displayed_times), dtype=float))
+
+    if len(content) == 0:
+        return JankReport(duration_s=duration_s, total_content=0,
+                          total_lost=0, episodes=(), min_run=min_run)
+
+    # For each content instant, which display gap does it fall in?
+    # Gap k spans (displayed[k-1], displayed[k]]; instants in the same
+    # gap beyond the first are lost.  Content after the last displayed
+    # frame is pending/lost too (gap index len(displayed)).
+    gap_index = np.searchsorted(displayed, content, side="left")
+    episodes: List[Tuple[float, int]] = []
+    total_lost = 0
+    unique, counts = np.unique(gap_index, return_counts=True)
+    for gap, count in zip(unique, counts):
+        lost = int(count) - 1
+        if lost <= 0:
+            continue
+        total_lost += lost
+        if lost >= min_run:
+            end = (float(displayed[gap]) if gap < len(displayed)
+                   else duration_s)
+            episodes.append((end, lost))
+    return JankReport(
+        duration_s=duration_s,
+        total_content=len(content),
+        total_lost=total_lost,
+        episodes=tuple(sorted(episodes)),
+        min_run=min_run,
+    )
+
+
+def session_jank(result, min_run: int = 3) -> JankReport:
+    """Jank report for a :class:`~repro.sim.session.SessionResult`."""
+    if min_run < 1:
+        raise ConfigurationError("min_run must be >= 1")
+    return analyze_jank(
+        result.application.content_changes.times,
+        result.meaningful_compositions.times,
+        result.duration_s,
+        min_run=min_run,
+    )

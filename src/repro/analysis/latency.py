@@ -1,0 +1,101 @@
+"""Touch-to-display latency analysis (extension).
+
+Refresh-rate control changes more than power: at 20 Hz a V-Sync slot is
+50 ms wide, so the first frame reacting to a touch can land tens of
+milliseconds later than it would at 60 Hz.  Touch boosting exists
+precisely to cap this.  This module measures it: for every touch, the
+delay until the next *meaningful* frame reaches the framebuffer.
+
+The metric corresponds to what phone vendors call touch latency
+(minus the digitizer/render constants, which are governor-independent
+and cancel out of comparisons).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import ensure_positive
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Touch-response latency statistics for one session."""
+
+    latencies_s: np.ndarray
+    touches: int
+    unanswered: int
+
+    @property
+    def answered(self) -> int:
+        """Touches that produced a meaningful frame within the timeout."""
+        return len(self.latencies_s)
+
+    @property
+    def mean_s(self) -> float:
+        """Mean response latency."""
+        if len(self.latencies_s) == 0:
+            raise ConfigurationError("no answered touches; no mean")
+        return float(self.latencies_s.mean())
+
+    @property
+    def p95_s(self) -> float:
+        """95th-percentile response latency."""
+        if len(self.latencies_s) == 0:
+            raise ConfigurationError("no answered touches; no p95")
+        return float(np.percentile(self.latencies_s, 95.0))
+
+    @property
+    def worst_s(self) -> float:
+        """Worst answered latency."""
+        if len(self.latencies_s) == 0:
+            raise ConfigurationError("no answered touches; no worst")
+        return float(self.latencies_s.max())
+
+
+def touch_response_latencies(touch_times: Sequence[float],
+                             meaningful_frame_times: Sequence[float],
+                             timeout_s: float = 2.0) -> LatencyReport:
+    """Latency from each touch to the next meaningful displayed frame.
+
+    Parameters
+    ----------
+    touch_times:
+        When each touch landed.
+    meaningful_frame_times:
+        When meaningful frames reached the framebuffer (ground truth:
+        the compositor's meaningful-composition log).
+    timeout_s:
+        Touches with no meaningful frame within this window count as
+        *unanswered* (the app genuinely showed nothing) and are
+        excluded from the latency sample rather than polluting it.
+    """
+    ensure_positive(timeout_s, "timeout_s")
+    frames = sorted(float(t) for t in meaningful_frame_times)
+    latencies = []
+    unanswered = 0
+    for touch in touch_times:
+        idx = bisect.bisect_right(frames, touch)
+        if idx < len(frames) and frames[idx] - touch <= timeout_s:
+            latencies.append(frames[idx] - touch)
+        else:
+            unanswered += 1
+    return LatencyReport(
+        latencies_s=np.asarray(latencies, dtype=float),
+        touches=len(list(touch_times)),
+        unanswered=unanswered,
+    )
+
+
+def session_touch_latency(result, timeout_s: float = 2.0) -> LatencyReport:
+    """Latency report for a :class:`~repro.sim.session.SessionResult`."""
+    return touch_response_latencies(
+        result.touch_script.times,
+        result.meaningful_compositions.times,
+        timeout_s=timeout_s,
+    )

@@ -1,0 +1,73 @@
+"""Summary statistics used throughout the evaluation.
+
+The paper's reporting conventions, reproduced here:
+
+* headline numbers are **mean ± standard deviation across the
+  applications of a category** (Table 1's "18.6 (±8.93)");
+* robustness claims are phrased as "for 80 % of applications, X is
+  less/more than Y" — a percentile across apps
+  (:func:`percentile_of_apps`);
+* power savings are reported both in milliwatts and as a percentage of
+  the fixed-60 Hz baseline (:func:`savings_percent`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """A mean with its standard deviation (population std, ddof=0)."""
+
+    mean: float
+    std: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} (±{self.std:.2f})"
+
+
+def mean_std(values: Sequence[float]) -> MeanStd:
+    """Mean ± std of a sample (std is 0 for a single value)."""
+    if len(values) == 0:
+        raise ConfigurationError("mean_std of an empty sample")
+    arr = np.asarray(values, dtype=float)
+    return MeanStd(mean=float(arr.mean()),
+                   std=float(arr.std(ddof=0)),
+                   n=len(arr))
+
+
+def percentile_of_apps(values: Sequence[float], fraction: float,
+                       tail: str = "upper") -> float:
+    """The paper's "for <fraction> of applications" statistic.
+
+    ``tail="upper"`` answers "for 80 % of apps the value is AT LEAST"
+    (the 20th percentile); ``tail="lower"`` answers "for 80 % of apps
+    the value is AT MOST" (the 80th percentile).
+    """
+    if len(values) == 0:
+        raise ConfigurationError("percentile of an empty sample")
+    if not 0.0 < fraction < 1.0:
+        raise ConfigurationError(
+            f"fraction must be in (0, 1), got {fraction}")
+    arr = np.asarray(values, dtype=float)
+    if tail == "upper":
+        return float(np.percentile(arr, 100.0 * (1.0 - fraction)))
+    if tail == "lower":
+        return float(np.percentile(arr, 100.0 * fraction))
+    raise ConfigurationError(f"tail must be 'upper' or 'lower', got "
+                             f"{tail!r}")
+
+
+def savings_percent(baseline_mw: float, governed_mw: float) -> float:
+    """Power saved as a percentage of the baseline."""
+    if baseline_mw <= 0:
+        raise ConfigurationError(
+            f"baseline power must be > 0, got {baseline_mw}")
+    return 100.0 * (baseline_mw - governed_mw) / baseline_mw

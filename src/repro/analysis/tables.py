@@ -1,0 +1,41 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the same rows the paper's tables and figures report;
+this module owns the formatting so every bench looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Cells are converted with ``str``; floats should be pre-formatted by
+    the caller so each experiment controls its own precision.
+    """
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {i} has {len(row)} cells for {len(headers)} "
+                f"columns")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

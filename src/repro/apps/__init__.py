@@ -1,0 +1,40 @@
+"""Application workload models.
+
+The paper evaluates 30 commercial Android applications (15 general, 15
+games) from the Korean Google Play top charts.  Those binaries are not
+available offline, so this package provides synthetic application
+models whose *observable display behaviour* — meaningful frame rate,
+redundant frame rate, response to touch — is fit to what the paper
+reports about each app (Figure 3's redundancy survey, Figure 2's
+traces).  The models produce real pixels through the graphics stack, so
+the content-rate meter runs exactly the algorithm it would on a device.
+
+See :mod:`repro.apps.catalog` for the full 30-app table and the fitting
+notes.
+"""
+
+from .base import Application
+from .catalog import (
+    GAME_APP_NAMES,
+    GENERAL_APP_NAMES,
+    all_app_names,
+    app_profile,
+    profiles_by_category,
+)
+from .profile import AppCategory, AppProfile, ContentProcess
+from .wallpaper import LiveWallpaper, WallpaperProfile, nexus_revamped
+
+__all__ = [
+    "AppCategory",
+    "AppProfile",
+    "Application",
+    "ContentProcess",
+    "GAME_APP_NAMES",
+    "GENERAL_APP_NAMES",
+    "LiveWallpaper",
+    "WallpaperProfile",
+    "all_app_names",
+    "app_profile",
+    "nexus_revamped",
+    "profiles_by_category",
+]

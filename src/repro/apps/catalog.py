@@ -1,0 +1,162 @@
+"""The 30-application catalog (15 general + 15 game).
+
+These are the applications of the paper's Section 2.2 survey — 30 top
+chart titles from Google Play South Korea, run for ~3 minutes each on a
+Galaxy S3.  The binaries are unavailable, so each entry here is a
+synthetic profile **fit to what the paper reports**:
+
+* Figure 3(a,b): general apps mostly need < 30 fps of meaningful
+  content; every game's total frame rate exceeds 30 fps.
+* Figure 3(d): about 40 % of general apps show ~20 redundant fps
+  (Cash Slide and Daum Maps are called out); 80 % of games exceed 20
+  redundant fps.
+* Figure 2: Facebook idles near 0 fps with bursts on user requests;
+  Jelly Splash holds ~60 fps regardless of content.
+* Figure 9: CGV and Daum Maps are the general apps with game-like
+  savings.
+
+Numbers not pinned by the paper (exact idle rates, power costs) are
+chosen to be typical of the app's genre; they are *calibration*, and
+every experiment that depends on them says so in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import WorkloadError
+from .profile import AppCategory, AppProfile, ContentProcess, RenderStyle
+
+_G = AppCategory.GENERAL
+_M = AppCategory.GAME
+
+
+def _general(name: str, idle: float, active: float, submit: float,
+             style: RenderStyle, render_mj: float, cpu_mw: float,
+             touch: float, scroll: float, notes: str = "",
+             process: ContentProcess = ContentProcess.POISSON,
+             burst: float = 1.5) -> AppProfile:
+    return AppProfile(
+        name=name, category=_G, idle_content_fps=idle,
+        active_content_fps=active, burst_duration_s=burst,
+        content_process=process, idle_submit_fps=submit,
+        render_style=style, render_cost_mj=render_mj, cpu_base_mw=cpu_mw,
+        touch_events_per_s=touch, scroll_fraction=scroll, notes=notes)
+
+
+def _game(name: str, idle: float, active: float, submit: float,
+          style: RenderStyle, render_mj: float, cpu_mw: float,
+          touch: float = 0.3, scroll: float = 0.05,
+          notes: str = "", burst: float = 2.0) -> AppProfile:
+    return AppProfile(
+        name=name, category=_M, idle_content_fps=idle,
+        active_content_fps=active, burst_duration_s=burst,
+        content_process=ContentProcess.ANIMATION, idle_submit_fps=submit,
+        render_style=style, render_cost_mj=render_mj, cpu_base_mw=cpu_mw,
+        touch_events_per_s=touch, scroll_fraction=scroll, notes=notes)
+
+
+_GENERAL_PROFILES: Tuple[AppProfile, ...] = (
+    _general("Auction", 1.5, 25.0, 0.0, RenderStyle.SCROLL,
+             1.0, 110.0, 0.25, 0.5, "shopping; posts only on change"),
+    _general("Cash Slide", 2.0, 10.0, 22.0, RenderStyle.SCENE,
+             0.8, 90.0, 0.10, 0.2,
+             "lock-screen ads; ~20 redundant fps (named in Fig 3d)"),
+    _general("CGV", 3.0, 20.0, 30.0, RenderStyle.SCENE,
+             4.0, 180.0, 0.20, 0.3,
+             "cinema app; full-screen animated ad banners redraw at "
+             "~30 fps, making it the paper's game-like general saver"),
+    _general("Coupang", 1.5, 25.0, 3.0, RenderStyle.SCROLL,
+             1.0, 110.0, 0.25, 0.5, "shopping feed"),
+    _general("Daum", 2.0, 28.0, 4.0, RenderStyle.SCROLL,
+             1.0, 115.0, 0.30, 0.5, "web portal"),
+    _general("Daum Maps", 4.0, 30.0, 30.0, RenderStyle.SCENE,
+             4.2, 200.0, 0.30, 0.6,
+             "map with continuous tile/overlay redraws; ~20 redundant "
+             "fps (named in Fig 3d) and a game-like saving in Fig 9"),
+    _general("Facebook", 1.0, 30.0, 2.0, RenderStyle.SCROLL,
+             1.1, 130.0, 0.25, 0.55,
+             "Fig 2 trace app: idle near 0 fps, bursts on requests"),
+    _general("KakaoTalk", 0.8, 18.0, 1.0, RenderStyle.SCROLL,
+             0.8, 100.0, 0.30, 0.3, "messenger"),
+    _general("MX Player", 24.0, 24.0, 2.0, RenderStyle.VIDEO,
+             2.2, 260.0, 0.05, 0.0, "24 fps video playback",
+             process=ContentProcess.PERIODIC),
+    _general("Naver", 2.0, 28.0, 3.0, RenderStyle.SCROLL,
+             1.0, 120.0, 0.30, 0.5, "web portal"),
+    _general("Naver Webtoon", 1.5, 35.0, 1.0, RenderStyle.SCROLL,
+             1.0, 115.0, 0.20, 0.7, "comic reader; long scrolls"),
+    _general("NaverMap", 3.5, 30.0, 22.0, RenderStyle.SCENE,
+             1.4, 150.0, 0.30, 0.6, "maps with moderate redundancy"),
+    _general("PhotoWonder", 1.0, 20.0, 2.0, RenderStyle.SCENE,
+             1.3, 140.0, 0.20, 0.25, "photo editor"),
+    _general("Tiny Flashlight", 0.2, 5.0, 1.0, RenderStyle.SMALL_REGION,
+             0.5, 60.0, 0.05, 0.0, "almost perfectly static screen"),
+    _general("Weather", 2.5, 12.0, 20.0, RenderStyle.SCENE,
+             0.9, 95.0, 0.10, 0.2, "animated background widgets"),
+)
+
+_GAME_PROFILES: Tuple[AppProfile, ...] = (
+    _game("Anisachun", 6.0, 42.0, 60.0, RenderStyle.SCENE, 6.4, 280.0,
+          notes="match-3 puzzle; free-running 60 fps loop"),
+    _game("Asphalt 8", 40.0, 50.0, 60.0, RenderStyle.VIDEO, 6.5, 450.0,
+          notes="racing; genuinely high content rate"),
+    _game("Canimal Wars", 7.0, 38.0, 60.0, RenderStyle.SCENE, 6.8, 300.0,
+          notes="tower defence; mostly idle board"),
+    _game("Castle Heros", 8.0, 42.0, 60.0, RenderStyle.SCENE, 6.8, 310.0,
+          notes="card battler"),
+    _game("Cookie Run", 30.0, 42.0, 60.0, RenderStyle.VIDEO, 5.5, 380.0,
+          notes="auto-runner; high genuine animation"),
+    _game("Devilshness", 6.0, 36.0, 60.0, RenderStyle.SCENE, 6.2, 280.0,
+          notes="casual puzzle"),
+    _game("Everypong", 7.0, 42.0, 60.0, RenderStyle.SCENE, 6.0, 260.0,
+          notes="casual arcade"),
+    _game("Geometry Dash", 35.0, 45.0, 60.0, RenderStyle.VIDEO, 5.0, 360.0,
+          notes="rhythm runner"),
+    _game("I Love Style", 4.0, 26.0, 30.0, RenderStyle.SCENE, 3.0, 220.0,
+          notes="dress-up; the one game with a throttled 30 fps loop"),
+    _game("Jelly Splash", 8.0, 46.0, 60.0, RenderStyle.SCENE, 7.0, 300.0,
+          notes="Fig 2 trace app: ~60 fps loop regardless of content"),
+    _game("Modoo Marble", 8.0, 40.0, 60.0, RenderStyle.SCENE, 6.4, 290.0,
+          notes="board game"),
+    _game("PokoPang", 8.0, 46.0, 60.0, RenderStyle.SCENE, 6.8, 310.0,
+          notes="match puzzle"),
+    _game("Swingrun", 28.0, 40.0, 60.0, RenderStyle.VIDEO, 5.0, 340.0,
+          notes="runner"),
+    _game("TempleRun", 32.0, 45.0, 60.0, RenderStyle.VIDEO, 5.8, 400.0,
+          notes="3D runner"),
+    _game("Watermargin", 9.0, 42.0, 60.0, RenderStyle.SCENE, 7.0, 320.0,
+          notes="RPG with auto-battle animations"),
+)
+
+_ALL: Dict[str, AppProfile] = {
+    p.name: p for p in (_GENERAL_PROFILES + _GAME_PROFILES)
+}
+
+#: Names of the 15 general applications, catalog order.
+GENERAL_APP_NAMES: Tuple[str, ...] = tuple(
+    p.name for p in _GENERAL_PROFILES)
+
+#: Names of the 15 game applications, catalog order.
+GAME_APP_NAMES: Tuple[str, ...] = tuple(p.name for p in _GAME_PROFILES)
+
+
+def all_app_names() -> Tuple[str, ...]:
+    """Every catalog app name: general first, then games."""
+    return GENERAL_APP_NAMES + GAME_APP_NAMES
+
+
+def app_profile(name: str) -> AppProfile:
+    """Look up one application profile by exact name."""
+    try:
+        return _ALL[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown application {name!r}; see all_app_names()") from None
+
+
+def profiles_by_category(category: AppCategory) -> List[AppProfile]:
+    """All profiles in one category, catalog order."""
+    source = (_GENERAL_PROFILES if category is AppCategory.GENERAL
+              else _GAME_PROFILES)
+    return list(source)

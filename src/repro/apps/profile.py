@@ -1,0 +1,168 @@
+"""Application behaviour profiles.
+
+An :class:`AppProfile` is the complete, declarative description of one
+synthetic application: how often its content genuinely changes (idle
+and under interaction), how it submits frames (only on change, or on a
+free-running loop that produces redundant frames), what its content
+changes look like on screen, how it is touched, and what its
+display-independent power cost is.
+
+The profile is pure data; :class:`~repro.apps.base.Application` turns it
+into behaviour on the simulation clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..graphics.renderers import (
+    FullScreenVideoRenderer,
+    MovingSpritesRenderer,
+    Renderer,
+    SceneChangeRenderer,
+    ScrollRenderer,
+    SmallRegionRenderer,
+)
+from ..units import ensure_non_negative, ensure_positive
+
+
+class AppCategory(enum.Enum):
+    """The paper's two application classes."""
+
+    GENERAL = "general"
+    GAME = "game"
+
+
+class ContentProcess(enum.Enum):
+    """How content-change instants are generated.
+
+    POISSON models bursty, human-driven content (feeds, maps, portal
+    pages); PERIODIC models exactly clocked content (video playback);
+    ANIMATION models game/app animations — frame ticks at a nominal
+    rate with a little jitter, which (unlike Poisson) never bunches two
+    ticks into one V-Sync interval as long as the rate stays below the
+    refresh rate.  Getting this right matters for the quality figures:
+    a Poisson stream coalesces frames even in steady state, while real
+    game animations only drop frames when the refresh rate lags them.
+    """
+
+    POISSON = "poisson"
+    PERIODIC = "periodic"
+    ANIMATION = "animation"
+
+
+class RenderStyle(enum.Enum):
+    """What one content change does to the pixels (selects a renderer)."""
+
+    SCROLL = "scroll"
+    SCENE = "scene"
+    VIDEO = "video"
+    SMALL_REGION = "small_region"
+    SPRITES = "sprites"
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Declarative description of one synthetic application.
+
+    Content behaviour
+    -----------------
+    idle_content_fps:
+        Rate of genuine content changes with no interaction (fps).
+    active_content_fps:
+        Content-change rate while the user is interacting (during a
+        scroll gesture and for ``burst_duration_s`` after any touch).
+    burst_duration_s:
+        How long elevated content persists after an interaction.
+    content_process:
+        POISSON or PERIODIC change instants.
+
+    Submission behaviour
+    --------------------
+    idle_submit_fps:
+        Frame-submission loop rate when there is *no* new content.
+        0 means the app only posts on change (well-behaved); 60 means a
+        free-running render loop that posts every V-Sync (most games) —
+        the redundant frames of Section 2.2.  The achieved redundant
+        rate is capped by the refresh rate through V-Sync.
+
+    Appearance
+    ----------
+    render_style:
+        Which renderer draws a content change (affects how visible the
+        change is to the metering grid).
+
+    Power
+    -----
+    render_cost_mj:
+        Energy per application render pass (GPU + CPU drawing), charged
+        for redundant submissions too — re-drawing an unchanged scene
+        is precisely the waste the paper eliminates.
+    cpu_base_mw:
+        Display-independent device power while this app runs (SoC,
+        radios, game logic).
+
+    Interaction (Monkey defaults for this app)
+    ------------------------------------------
+    touch_events_per_s:
+        Mean Monkey event rate used when driving this app.
+    scroll_fraction:
+        Fraction of Monkey events that are scroll gestures.
+    """
+
+    name: str
+    category: AppCategory
+    idle_content_fps: float
+    active_content_fps: float
+    burst_duration_s: float = 1.5
+    content_process: ContentProcess = ContentProcess.POISSON
+    idle_submit_fps: float = 0.0
+    render_style: RenderStyle = RenderStyle.SCENE
+    render_cost_mj: float = 1.0
+    cpu_base_mw: float = 100.0
+    touch_events_per_s: float = 0.25
+    scroll_fraction: float = 0.3
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("app profile needs a name")
+        ensure_non_negative(self.idle_content_fps, "idle_content_fps")
+        ensure_non_negative(self.active_content_fps, "active_content_fps")
+        ensure_positive(self.burst_duration_s, "burst_duration_s")
+        ensure_non_negative(self.idle_submit_fps, "idle_submit_fps")
+        ensure_non_negative(self.render_cost_mj, "render_cost_mj")
+        ensure_non_negative(self.cpu_base_mw, "cpu_base_mw")
+        ensure_non_negative(self.touch_events_per_s, "touch_events_per_s")
+        if not 0.0 <= self.scroll_fraction <= 1.0:
+            raise ConfigurationError(
+                f"scroll_fraction must be in [0, 1], got "
+                f"{self.scroll_fraction}")
+        if self.active_content_fps < self.idle_content_fps:
+            raise ConfigurationError(
+                f"{self.name}: active_content_fps "
+                f"({self.active_content_fps}) must be >= idle_content_fps "
+                f"({self.idle_content_fps})")
+
+    @property
+    def is_game(self) -> bool:
+        """True for game-category profiles."""
+        return self.category is AppCategory.GAME
+
+    def make_renderer(self) -> Renderer:
+        """Instantiate the renderer for this profile's content style."""
+        if self.render_style is RenderStyle.SCROLL:
+            return ScrollRenderer(scroll_px=8)
+        if self.render_style is RenderStyle.SCENE:
+            return SceneChangeRenderer(num_rects=4)
+        if self.render_style is RenderStyle.VIDEO:
+            return FullScreenVideoRenderer(block_px=16)
+        if self.render_style is RenderStyle.SMALL_REGION:
+            return SmallRegionRenderer(region_height=6, region_width=24,
+                                       y=2, x=2)
+        if self.render_style is RenderStyle.SPRITES:
+            return MovingSpritesRenderer(num_dots=6, dot_px=2, step_px=3)
+        raise ConfigurationError(
+            f"unknown render style {self.render_style!r}")

@@ -1,0 +1,27 @@
+"""Baseline refresh-rate policies the paper compares against or implies.
+
+* :class:`FixedRefreshGovernor` — the stock Android configuration
+  (fixed 60 Hz); every "power saved" number in the paper is relative
+  to this.
+* :class:`~repro.core.governor.NaiveMatchGovernor` (re-exported) — the
+  paper's failed first attempt: match the refresh rate to the measured
+  content rate and deadlock under V-Sync clipping.
+* :class:`OracleGovernor` — cheats by reading the application's true
+  content rate (no meter, no V-Sync clipping); an upper bound on what
+  any measurement-driven controller can achieve.
+* :class:`E3ScrollGovernor` — an interaction-driven controller in the
+  spirit of Han et al.'s E3 (the paper's reference [16]): rate is
+  driven by touch/scroll activity only, blind to content.
+"""
+
+from ..core.governor import NaiveMatchGovernor
+from .e3 import E3ScrollGovernor
+from .fixed import FixedRefreshGovernor
+from .oracle import OracleGovernor
+
+__all__ = [
+    "E3ScrollGovernor",
+    "FixedRefreshGovernor",
+    "NaiveMatchGovernor",
+    "OracleGovernor",
+]

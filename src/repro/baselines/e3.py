@@ -1,0 +1,58 @@
+"""E3-style interaction-driven refresh control (Han et al., SenSys'13).
+
+The paper's reference [16] adapts the frame rate to *scrolling
+operations*: high rate while the user scrolls, low rate otherwise.  It
+is content-blind — a video or a game animation with no touch input gets
+the low rate (and stutters), while a static screen being tapped gets
+the high rate (and wastes power).  Reproducing it makes the paper's
+content-centric argument concrete in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..core.governor import GovernorPolicy
+from ..errors import ConfigurationError
+from ..inputs.touch import TouchEvent, TouchKind
+from ..units import ensure_positive
+
+
+class E3ScrollGovernor(GovernorPolicy):
+    """High rate during interaction, low rate otherwise.
+
+    Parameters
+    ----------
+    low_rate_hz, high_rate_hz:
+        The two operating points (both must be panel levels).
+    tail_s:
+        How long after the last interaction the high rate is held
+        (covers fling animation after the finger lifts).
+    """
+
+    name = "e3-scroll"
+
+    def __init__(self, low_rate_hz: float, high_rate_hz: float,
+                 tail_s: float = 1.0) -> None:
+        self.low_rate_hz = ensure_positive(low_rate_hz, "low_rate_hz")
+        self.high_rate_hz = ensure_positive(high_rate_hz, "high_rate_hz")
+        if high_rate_hz <= low_rate_hz:
+            raise ConfigurationError(
+                f"high_rate_hz ({high_rate_hz}) must exceed low_rate_hz "
+                f"({low_rate_hz})")
+        self.tail_s = ensure_positive(tail_s, "tail_s")
+        self._high_until = float("-inf")
+
+    def select_rate(self, now: float) -> float:
+        return self.high_rate_hz if now < self._high_until \
+            else self.low_rate_hz
+
+    def on_touch(self, time: float) -> float:
+        """Any interaction raises the rate immediately."""
+        self._high_until = time + self.tail_s
+        return self.high_rate_hz
+
+    def on_touch_event(self, event: TouchEvent) -> None:
+        """Richer hook for scroll gestures: hold high for the drag."""
+        hold = self.tail_s
+        if event.kind is TouchKind.SCROLL:
+            hold += event.duration_s
+        self._high_until = max(self._high_until, event.time + hold)

@@ -1,0 +1,24 @@
+"""The stock configuration: a fixed refresh rate.
+
+Android on the paper's device pins the panel at 60 Hz regardless of
+content.  Every power-saving figure in the evaluation is the difference
+between a governed run and this baseline under the same workload
+script.
+"""
+
+from __future__ import annotations
+
+from ..core.governor import GovernorPolicy
+from ..units import ensure_positive
+
+
+class FixedRefreshGovernor(GovernorPolicy):
+    """Always selects the same refresh rate."""
+
+    def __init__(self, rate_hz: float = 60.0) -> None:
+        self.rate_hz = ensure_positive(rate_hz, "rate_hz")
+        self.name = f"fixed-{rate_hz:g}hz"
+
+    def select_rate(self, now: float) -> float:
+        del now
+        return self.rate_hz

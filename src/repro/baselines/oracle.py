@@ -1,0 +1,31 @@
+"""Oracle refresh-rate control: perfect content-rate knowledge.
+
+The oracle bypasses both limitations of the real system — metering
+error and V-Sync clipping of the measurable content rate — by reading
+the application model's *true* instantaneous content rate.  It is an
+upper bound: the gap between the oracle and the section-based governor
+is the price of having to measure.
+"""
+
+from __future__ import annotations
+
+from ..apps.base import Application
+from ..core.governor import GovernorPolicy
+from ..core.section_table import SectionTable
+
+
+class OracleGovernor(GovernorPolicy):
+    """Section-table control driven by ground-truth content rate."""
+
+    name = "oracle"
+
+    def __init__(self, table: SectionTable, application: Application) -> None:
+        self.table = table
+        self.application = application
+
+    def select_rate(self, now: float) -> float:
+        true_rate = self.application.current_content_fps(now)
+        # The table is defined over measurable content rates; the true
+        # rate can exceed the panel maximum, which the top section
+        # (open-ended) absorbs.
+        return self.table.lookup(true_rate)

@@ -1,0 +1,307 @@
+"""Command-line interface.
+
+Everything the examples do, scriptable::
+
+    python -m repro apps                      # list the workload catalog
+    python -m repro table --panel galaxy-s3   # print the section table
+    python -m repro table --rates 30,60,120   # ... for custom levels
+    python -m repro run --app Facebook --governor section+boost
+    python -m repro compare --app "Jelly Splash" --duration 45
+    python -m repro experiment fig6           # regenerate a paper figure
+
+All output is plain text; every command is deterministic for a given
+``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .analysis.export import (
+    write_events_csv,
+    write_session_json,
+    write_trace_csv,
+)
+from .analysis.latency import session_touch_latency
+from .analysis.tables import format_table
+from .apps.catalog import all_app_names, app_profile
+from .core.quality import quality_vs_baseline
+from .core.section_table import SectionTable
+from .display.presets import panel_preset, panel_preset_names
+from .errors import ReproError
+from .experiments.registry import EXPERIMENTS, experiment
+from .sim.session import GOVERNOR_CHOICES, SessionConfig, run_session
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Content-centric display energy management "
+                    "(DAC 2014) — simulation toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_apps = sub.add_parser("apps", help="list the application catalog")
+    p_apps.set_defaults(func=cmd_apps)
+
+    p_table = sub.add_parser(
+        "table", help="print the Equation (1) section table")
+    p_table.add_argument("--panel", default="galaxy-s3",
+                         choices=panel_preset_names(),
+                         help="panel preset supplying the rate levels")
+    p_table.add_argument("--rates", default=None,
+                         help="comma-separated custom rates (overrides "
+                              "--panel), e.g. 30,60,120")
+    p_table.set_defaults(func=cmd_table)
+
+    p_run = sub.add_parser("run", help="run one session")
+    _add_session_args(p_run)
+    p_run.add_argument("--governor", default="section+boost",
+                       choices=GOVERNOR_CHOICES)
+    p_run.add_argument("--oled", action="store_true",
+                       help="track content-dependent OLED emission")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser(
+        "compare", help="race governors against the fixed baseline")
+    _add_session_args(p_cmp)
+    p_cmp.add_argument("--governors",
+                       default="section,section+boost",
+                       help="comma-separated governors to compare")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_export = sub.add_parser(
+        "export", help="run a session and dump its traces")
+    _add_session_args(p_export)
+    p_export.add_argument("--governor", default="section+boost",
+                          choices=GOVERNOR_CHOICES)
+    p_export.add_argument("--out", default="session",
+                          help="output prefix: writes <out>.json, "
+                               "<out>_trace.csv, <out>_events.csv")
+    p_export.set_defaults(func=cmd_export)
+
+    p_scn = sub.add_parser(
+        "scenario", help="run a multi-app usage scenario")
+    p_scn.add_argument("--apps", required=True,
+                       help="comma-separated app names, one segment "
+                            "each")
+    p_scn.add_argument("--segment-duration", type=float, default=20.0)
+    p_scn.add_argument("--governor", default="section+boost",
+                       choices=[g for g in GOVERNOR_CHOICES
+                                if g != "oracle"])
+    p_scn.add_argument("--seed", type=int, default=1)
+    p_scn.set_defaults(func=cmd_scenario)
+
+    p_rep = sub.add_parser(
+        "report", help="regenerate EVERY paper artifact into one file")
+    p_rep.add_argument("--out", default="REPRODUCTION_REPORT.txt",
+                       help="output file (default "
+                            "REPRODUCTION_REPORT.txt)")
+    p_rep.add_argument("--fast", action="store_true",
+                       help="short sessions (quick sanity run)")
+    p_rep.set_defaults(func=cmd_report)
+
+    p_exp = sub.add_parser(
+        "experiment", help="regenerate a paper figure/table")
+    p_exp.add_argument("experiment_id", nargs="?", default=None,
+                       help="e.g. fig6, table1; omit to list all")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def _add_session_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--app", required=True,
+                        help="catalog application name")
+    parser.add_argument("--duration", type=float, default=45.0,
+                        help="session length in seconds")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--panel", default="galaxy-s3",
+                        choices=panel_preset_names())
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+def cmd_apps(args: argparse.Namespace) -> int:
+    rows = []
+    for name in all_app_names():
+        p = app_profile(name)
+        rows.append([
+            name, p.category.value,
+            f"{p.idle_content_fps:g}", f"{p.active_content_fps:g}",
+            f"{p.idle_submit_fps:g}", p.render_style.value,
+            p.notes,
+        ])
+    print(format_table(
+        ["app", "category", "idle fps", "active fps", "submit fps",
+         "style", "notes"],
+        rows, title="Application catalog (30 apps, fit to the paper's "
+                    "survey)"))
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    if args.rates:
+        rates = [float(r) for r in args.rates.split(",")]
+        table = SectionTable.from_rates(rates)
+        source = f"custom rates {rates}"
+    else:
+        spec = panel_preset(args.panel)
+        table = SectionTable.for_panel(spec)
+        source = spec.name
+    print(f"Section table (Equation 1) for {source}:")
+    print(table.describe())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_session(SessionConfig(
+        app=args.app, governor=args.governor,
+        duration_s=args.duration, seed=args.seed,
+        panel=panel_preset(args.panel),
+        track_oled=args.oled))
+    report = result.power_report()
+    print(f"app:            {result.profile.name} "
+          f"({result.profile.category.value})")
+    print(f"governor:       {result.governor_name}")
+    print(f"duration:       {result.duration_s:g} s "
+          f"(seed {args.seed})")
+    print(f"mean power:     {report.mean_power_mw:.1f} mW")
+    components = ", ".join(
+        f"{k} {v:.0f}" for k, v in report.component_power_mw().items()
+        if v > 0)
+    print(f"  components:   {components} (mW)")
+    print(f"mean refresh:   {result.mean_refresh_rate_hz:.1f} Hz "
+          f"({result.panel.rate_switches} switches)")
+    print(f"frame rate:     {result.mean_frame_rate_fps:.1f} fps "
+          f"({result.mean_content_rate_fps:.1f} content, "
+          f"{result.mean_redundant_rate_fps:.1f} redundant)")
+    latency = session_touch_latency(result)
+    if latency.answered:
+        print(f"touch latency:  {1e3 * latency.mean_s:.0f} ms mean over "
+              f"{latency.answered} touches")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    governors = [g.strip() for g in args.governors.split(",") if g]
+    base = run_session(SessionConfig(
+        app=args.app, governor="fixed", duration_s=args.duration,
+        seed=args.seed, panel=panel_preset(args.panel)))
+    base_power = base.power_report().mean_power_mw
+    rows = [["fixed", f"{base_power:.0f}", "0", "100.0",
+             f"{base.mean_refresh_rate_hz:.1f}"]]
+    for governor in governors:
+        result = run_session(SessionConfig(
+            app=args.app, governor=governor, duration_s=args.duration,
+            seed=args.seed, panel=panel_preset(args.panel)))
+        power = result.power_report().mean_power_mw
+        quality = quality_vs_baseline(result.mean_content_rate_fps,
+                                      base.mean_content_rate_fps)
+        rows.append([governor, f"{power:.0f}",
+                     f"{base_power - power:.0f}",
+                     f"{100 * quality:.1f}",
+                     f"{result.mean_refresh_rate_hz:.1f}"])
+    print(format_table(
+        ["governor", "power mW", "saved mW", "quality %", "refresh Hz"],
+        rows,
+        title=f"{args.app}: identical {args.duration:g} s workload "
+              f"(seed {args.seed})"))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    result = run_session(SessionConfig(
+        app=args.app, governor=args.governor,
+        duration_s=args.duration, seed=args.seed,
+        panel=panel_preset(args.panel)))
+    json_path = write_session_json(result, f"{args.out}.json")
+    trace_path = write_trace_csv(result, f"{args.out}_trace.csv")
+    events_path = write_events_csv(result, f"{args.out}_events.csv")
+    print(f"wrote {json_path}, {trace_path}, {events_path}")
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from .sim.scenario import (
+        ScenarioConfig, ScenarioSegment, run_scenario)
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    segments = tuple(ScenarioSegment(app, args.segment_duration)
+                     for app in apps)
+
+    def run_with(governor):
+        return run_scenario(ScenarioConfig(
+            segments=segments, governor=governor, seed=args.seed))
+
+    base = run_with("fixed")
+    governed = run_with(args.governor)
+    rows = []
+    for i, segment in enumerate(governed.segments):
+        b = base.segment_power(base.segments[i]).mean_power_mw
+        g = governed.segment_power(segment).mean_power_mw
+        quality = governed.segment_quality(i, base)
+        rows.append([segment.profile.name,
+                     f"{segment.start_s:g}-{segment.end_s:g}",
+                     f"{b:.0f}", f"{b - g:.0f}",
+                     f"{100 * quality:.1f}"])
+    print(format_table(
+        ["segment", "window s", "baseline mW", "saved mW",
+         "quality %"],
+        rows,
+        title=f"Scenario under {governed.governor_name} "
+              f"(seed {args.seed})"))
+    total_saved = (base.power_report().mean_power_mw -
+                   governed.power_report().mean_power_mw)
+    print(f"total: {total_saved:.0f} mW saved over "
+          f"{governed.config.total_duration_s:g} s")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .experiments.report import generate_report
+    from .experiments.survey import SurveyConfig
+    if args.fast:
+        text = generate_report(
+            survey_config=SurveyConfig(duration_s=10.0),
+            trace_duration_s=20.0, fig6_duration_s=5.0)
+    else:
+        text = generate_report()
+    path = pathlib.Path(args.out)
+    path.write_text(text)
+    print(text)
+    print(f"(written to {path})")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.experiment_id is None:
+        rows = [[e.experiment_id, e.paper_content, e.benchmark]
+                for e in EXPERIMENTS]
+        print(format_table(["id", "paper content", "benchmark"], rows,
+                           title="Registered experiments"))
+        return 0
+    info = experiment(args.experiment_id)
+    print(f"Running {info.experiment_id}: {info.paper_content} ...")
+    result = info.runner()
+    print(result.format())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        parser.exit(2, f"error: {exc}\n")
+        return 2  # pragma: no cover - parser.exit raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Double buffering for previous-frame storage (Section 3.1).
+
+Comparing the current framebuffer against the previous one needs the
+previous one to still exist after it has been overwritten on screen.
+The paper keeps an extra buffer and flips between two slots — while one
+slot is being filled with the new frame (asynchronous I/O), the other
+still holds the comparison reference, so metering never blocks the
+update path.
+
+In simulation there is no real asynchronous I/O to win back, but the
+structure is preserved faithfully because its *accounting* matters: the
+number of full-frame copies is the memory-bandwidth cost of the scheme,
+and one ablation (:class:`SampledDoubleBuffer`) shows that storing only
+the grid samples cuts that cost by the grid's coverage fraction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import MeteringError
+from .grid import GridSpec
+
+
+class DoubleBuffer:
+    """Two full-frame slots flipped on every capture.
+
+    Usage pattern (per frame update)::
+
+        previous = buf.previous          # may be None on the first frame
+        # ... compare current framebuffer against `previous` ...
+        buf.capture(framebuffer.pixels)  # store for the next comparison
+    """
+
+    def __init__(self, shape: Tuple[int, ...],
+                 dtype: np.dtype = np.uint8) -> None:
+        if len(shape) < 2:
+            raise MeteringError(
+                f"double buffer needs an image shape, got {shape}")
+        self._slots = (np.zeros(shape, dtype=dtype),
+                       np.zeros(shape, dtype=dtype))
+        self._front = 0
+        self._captures = 0
+        self._bytes_copied = 0
+
+    @property
+    def captures(self) -> int:
+        """Number of frames stored so far."""
+        return self._captures
+
+    @property
+    def bytes_copied(self) -> int:
+        """Total bytes moved into the buffer (bandwidth accounting)."""
+        return self._bytes_copied
+
+    @property
+    def previous(self) -> Optional[np.ndarray]:
+        """The most recently captured frame, or None before the first
+        capture.  The returned array stays valid until the capture
+        after next (two slots deep)."""
+        if self._captures == 0:
+            return None
+        return self._slots[self._front]
+
+    def capture(self, pixels: np.ndarray) -> None:
+        """Copy ``pixels`` into the back slot and flip.
+
+        After this call :attr:`previous` returns (a copy of) ``pixels``.
+        """
+        back = 1 - self._front
+        slot = self._slots[back]
+        if pixels.shape != slot.shape:
+            raise MeteringError(
+                f"capture shape {pixels.shape} does not match buffer "
+                f"shape {slot.shape}")
+        np.copyto(slot, pixels)
+        self._front = back
+        self._captures += 1
+        self._bytes_copied += slot.nbytes
+
+
+class SampledDoubleBuffer:
+    """Double buffer that stores only the grid samples of each frame.
+
+    Ablation of the paper's design: since the comparator only ever reads
+    the grid points, storing just those points is sufficient for
+    metering and shrinks the copy cost from the full frame to
+    ``grid.sample_count`` pixels.  The trade-off is that the stored
+    frame cannot be re-compared under a *different* grid (the paper's
+    full-frame buffer can), so runtime grid reconfiguration needs one
+    warm-up frame.
+    """
+
+    def __init__(self, grid: GridSpec, channels: int = 3,
+                 dtype: np.dtype = np.uint8) -> None:
+        self.grid = grid
+        shape = (grid.grid_height, grid.grid_width, channels)
+        self._slots = (np.zeros(shape, dtype=dtype),
+                       np.zeros(shape, dtype=dtype))
+        self._front = 0
+        self._captures = 0
+        self._bytes_copied = 0
+
+    @property
+    def captures(self) -> int:
+        """Number of frames stored so far."""
+        return self._captures
+
+    @property
+    def bytes_copied(self) -> int:
+        """Total bytes moved into the buffer."""
+        return self._bytes_copied
+
+    @property
+    def previous(self) -> Optional[np.ndarray]:
+        """Grid samples of the most recent capture (None before any)."""
+        if self._captures == 0:
+            return None
+        return self._slots[self._front]
+
+    def capture(self, pixels: np.ndarray) -> None:
+        """Sample ``pixels`` on the grid into the back slot and flip."""
+        back = 1 - self._front
+        slot = self._slots[back]
+        sampled = self.grid.sample(pixels)
+        if sampled.shape != slot.shape:
+            raise MeteringError(
+                f"sampled shape {sampled.shape} does not match slot "
+                f"shape {slot.shape}")
+        np.copyto(slot, sampled)
+        self._front = back
+        self._captures += 1
+        self._bytes_copied += slot.nbytes

@@ -1,0 +1,254 @@
+"""Grid-based framebuffer comparison (Section 3.1 of the paper).
+
+Comparing two full 720x1280 framebuffers takes longer than one V-Sync
+interval at 60 Hz (the paper measures >40 ms against a 16.67 ms budget),
+so it cannot run per frame.  The paper instead overlays a coarse grid on
+the screen and compares only the **centre pixel of each grid cell**.
+The five operating points evaluated in Figure 6 are:
+
+==========  ===========  ==============
+Budget      Grid (WxH)   Cell size (px)
+==========  ===========  ==============
+2K          36 x 64      20 x 20
+4K          48 x 85      15 x 15
+9K          72 x 128     10 x 10
+36K         144 x 256    5 x 5
+921K        720 x 1280   1 x 1 (all)
+==========  ===========  ==============
+
+:class:`GridSpec` computes the sampled pixel coordinates for a buffer
+shape; :class:`GridComparator` performs the equality test between two
+buffers restricted to those coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import MeteringError
+from ..units import ensure_positive_int
+
+#: The paper's Figure 6 pixel budgets, keyed by their label.
+PAPER_PIXEL_BUDGETS = {
+    "2K": 36 * 64,
+    "4K": 48 * 85,
+    "9K": 72 * 128,
+    "36K": 144 * 256,
+    "921K": 720 * 1280,
+}
+
+
+class GridSpec:
+    """Sampling grid over a ``(height, width)`` pixel buffer.
+
+    The grid has ``grid_height x grid_width`` cells; the sample point of
+    each cell is its centre pixel.  Construct directly from grid
+    dimensions, or use :meth:`from_sample_count` /
+    :meth:`from_cell_size` to derive dimensions from a pixel budget.
+    """
+
+    def __init__(self, buffer_shape: Tuple[int, int],
+                 grid_height: int, grid_width: int) -> None:
+        height, width = buffer_shape
+        ensure_positive_int(height, "buffer height")
+        ensure_positive_int(width, "buffer width")
+        ensure_positive_int(grid_height, "grid_height")
+        ensure_positive_int(grid_width, "grid_width")
+        if grid_height > height or grid_width > width:
+            raise MeteringError(
+                f"grid {grid_height}x{grid_width} exceeds buffer "
+                f"{height}x{width}")
+        self.buffer_shape = (height, width)
+        self.grid_height = grid_height
+        self.grid_width = grid_width
+        # Centre pixel of each cell: cell i spans
+        # [i*H/gh, (i+1)*H/gh); its centre row is (i + 0.5) * H / gh.
+        self._rows = np.minimum(
+            ((np.arange(grid_height) + 0.5) * height / grid_height)
+            .astype(np.intp),
+            height - 1)
+        self._cols = np.minimum(
+            ((np.arange(grid_width) + 0.5) * width / grid_width)
+            .astype(np.intp),
+            width - 1)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sample_count(cls, buffer_shape: Tuple[int, int],
+                          sample_count: int) -> "GridSpec":
+        """Build a grid of roughly ``sample_count`` square cells.
+
+        The cell is chosen square (as in the paper's operating points),
+        so the actual sample count can differ slightly from the request.
+        """
+        height, width = buffer_shape
+        ensure_positive_int(sample_count, "sample_count")
+        total = height * width
+        if sample_count >= total:
+            return cls(buffer_shape, height, width)
+        cell = math.sqrt(total / sample_count)
+        gh = max(1, min(height, round(height / cell)))
+        gw = max(1, min(width, round(width / cell)))
+        return cls(buffer_shape, gh, gw)
+
+    @classmethod
+    def from_cell_size(cls, buffer_shape: Tuple[int, int],
+                       cell_px: int) -> "GridSpec":
+        """Build a grid with square cells of ``cell_px`` pixels."""
+        height, width = buffer_shape
+        ensure_positive_int(cell_px, "cell_px")
+        gh = max(1, height // cell_px)
+        gw = max(1, width // cell_px)
+        return cls(buffer_shape, gh, gw)
+
+    @classmethod
+    def full(cls, buffer_shape: Tuple[int, int]) -> "GridSpec":
+        """The degenerate all-pixels grid (the paper's 921K point)."""
+        return cls(buffer_shape, buffer_shape[0], buffer_shape[1])
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def sample_count(self) -> int:
+        """Number of sampled pixels."""
+        return self.grid_height * self.grid_width
+
+    @property
+    def is_full(self) -> bool:
+        """True when every pixel is sampled."""
+        return (self.grid_height, self.grid_width) == self.buffer_shape
+
+    @property
+    def sample_rows(self) -> np.ndarray:
+        """Sampled row indices (length ``grid_height``)."""
+        return self._rows.copy()
+
+    @property
+    def sample_cols(self) -> np.ndarray:
+        """Sampled column indices (length ``grid_width``)."""
+        return self._cols.copy()
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Sampled pixels as a fraction of the buffer."""
+        return self.sample_count / (self.buffer_shape[0] *
+                                    self.buffer_shape[1])
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, pixels: np.ndarray) -> np.ndarray:
+        """Extract the grid samples from a pixel buffer.
+
+        Returns a ``(grid_height, grid_width, channels)`` array (a view
+        is never returned; samples are materialised so they remain valid
+        after the buffer mutates — that is the double-buffer's job for
+        full frames, and this method's job for sampled frames).
+        """
+        self._check_shape(pixels)
+        if self.is_full:
+            return pixels.copy()
+        return np.ascontiguousarray(
+            pixels[self._rows[:, None], self._cols[None, :]])
+
+    def _check_shape(self, pixels: np.ndarray) -> None:
+        if pixels.shape[:2] != self.buffer_shape:
+            raise MeteringError(
+                f"buffer shape {pixels.shape[:2]} does not match grid's "
+                f"expected {self.buffer_shape}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<GridSpec {self.grid_width}x{self.grid_height} over "
+                f"{self.buffer_shape[1]}x{self.buffer_shape[0]} "
+                f"({self.sample_count} samples)>")
+
+
+class GridComparator:
+    """Equality test between two buffers restricted to a grid.
+
+    This is the hot path the paper benchmarks in Figure 6; it does no
+    allocation beyond numpy's comparison temporaries and counts its own
+    invocations for overhead accounting.
+    """
+
+    def __init__(self, grid: GridSpec) -> None:
+        self.grid = grid
+        self._comparisons = 0
+        self._mismatches = 0
+
+    @property
+    def comparisons(self) -> int:
+        """Total equality tests performed."""
+        return self._comparisons
+
+    @property
+    def mismatches(self) -> int:
+        """Tests that found the frames different."""
+        return self._mismatches
+
+    def count_changed(self, current: np.ndarray,
+                      previous: np.ndarray) -> int:
+        """Number of grid sample points whose pixel differs.
+
+        The magnitude of a change, in grid cells.  ``frames_equal`` is
+        ``count_changed == 0``; the significance-filtering extension
+        (``MeterConfig.min_changed_cells``) uses the count to ignore
+        cosmetically tiny changes (a blinking cursor, a clock colon)
+        that would otherwise hold the refresh rate up.
+        """
+        grid = self.grid
+        grid._check_shape(current)
+        rows = grid._rows[:, None]
+        cols = grid._cols[None, :]
+        cur = current[rows, cols]
+        if previous.shape == current.shape:
+            prev = previous[rows, cols]
+        elif previous.shape[:2] == (grid.grid_height, grid.grid_width):
+            prev = previous
+        else:
+            raise MeteringError(
+                f"previous frame shape {previous.shape} matches neither "
+                f"the buffer {grid.buffer_shape} nor the grid "
+                f"({grid.grid_height}, {grid.grid_width})")
+        return int((cur != prev).any(axis=-1).sum())
+
+    def frames_equal(self, current: np.ndarray,
+                     previous: np.ndarray) -> bool:
+        """True if the two buffers agree at every grid sample point.
+
+        ``current`` is a live pixel buffer of the grid's expected shape;
+        ``previous`` may be either a full buffer of the same shape or a
+        pre-sampled ``(grid_height, grid_width, channels)`` array (the
+        storage format of :class:`~repro.core.double_buffer.
+        SampledDoubleBuffer`).
+        """
+        grid = self.grid
+        grid._check_shape(current)
+        self._comparisons += 1
+        if previous.shape == current.shape:
+            # One code path for every budget: gather the sample points
+            # and compare them.  Deliberately *no* memcmp fast path for
+            # the all-pixels grid — Figure 6 sweeps the cost of the
+            # per-sample comparison, and the paper's implementation
+            # walks grid points uniformly whatever their count.
+            rows = grid._rows[:, None]
+            cols = grid._cols[None, :]
+            equal = bool(
+                (current[rows, cols] == previous[rows, cols]).all())
+        elif previous.shape[:2] == (grid.grid_height, grid.grid_width):
+            sampled = current[grid._rows[:, None], grid._cols[None, :]]
+            equal = bool((sampled == previous).all())
+        else:
+            raise MeteringError(
+                f"previous frame shape {previous.shape} matches neither "
+                f"the buffer {grid.buffer_shape} nor the grid "
+                f"({grid.grid_height}, {grid.grid_width})")
+        if not equal:
+            self._mismatches += 1
+        return equal

@@ -1,0 +1,89 @@
+"""Hysteresis wrapper for refresh-rate policies (extension).
+
+The paper's section-based governor re-evaluates every decision period
+and switches the panel whenever the table says so.  Panel mode switches
+are not free on real hardware (the scan reconfigures at a frame
+boundary, and some panels flicker when switching), so a production
+implementation wants *asymmetric damping*: follow increases immediately
+(quality is at stake — this is the same instinct as touch boosting) but
+require the lower rate to be requested several times in a row before
+stepping down (saving power is never urgent).
+
+This is a faithful "future work" extension: the paper's own
+section-table thresholds already act as amplitude hysteresis; this adds
+time hysteresis on the downward direction.  The ablation benchmark
+``benchmarks/ablations/bench_ablation_hysteresis.py`` quantifies the
+trade: fewer rate switches for a small power give-back at equal
+quality.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..units import ensure_positive_int
+from .governor import GovernorPolicy
+
+
+class HysteresisGovernor(GovernorPolicy):
+    """Damps downward rate changes of an inner policy.
+
+    Parameters
+    ----------
+    inner:
+        The policy producing raw decisions.
+    down_confirmations:
+        Number of *consecutive* decisions at or below a candidate rate
+        required before the rate is allowed to drop.  1 reproduces the
+        inner policy exactly.
+    """
+
+    def __init__(self, inner: GovernorPolicy,
+                 down_confirmations: int = 3) -> None:
+        self.inner = inner
+        self.down_confirmations = ensure_positive_int(
+            down_confirmations, "down_confirmations")
+        self.name = f"{inner.name}+hysteresis"
+        self._current: Optional[float] = None
+        self._pending_down: Optional[float] = None
+        self._down_count = 0
+        self._suppressed_downs = 0
+
+    @property
+    def suppressed_downs(self) -> int:
+        """Downward switches damped away (thrash avoided)."""
+        return self._suppressed_downs
+
+    def select_rate(self, now: float) -> float:
+        raw = self.inner.select_rate(now)
+        if self._current is None or raw >= self._current:
+            # Upward (or first, or equal) decisions pass through and
+            # reset any pending down-step; interrupted confirmations
+            # were thrash the damping absorbed.
+            if self._pending_down is not None:
+                self._suppressed_downs += self._down_count
+            self._current = raw
+            self._pending_down = None
+            self._down_count = 0
+            return raw
+        # Downward decision: require consecutive confirmations.  The
+        # candidate tracks the *highest* rate seen during confirmation,
+        # so an oscillating signal steps down conservatively.
+        if self._pending_down is None or raw > self._pending_down:
+            self._pending_down = raw
+        self._down_count += 1
+        if self._down_count >= self.down_confirmations:
+            self._current = self._pending_down
+            self._pending_down = None
+            self._down_count = 0
+        return self._current
+
+    def on_touch(self, time: float) -> Optional[float]:
+        immediate = self.inner.on_touch(time)
+        if immediate is not None:
+            # A touch boost is an upward jump: adopt it and clear any
+            # pending down-step.
+            self._current = max(immediate, self._current or immediate)
+            self._pending_down = None
+            self._down_count = 0
+        return immediate

@@ -1,0 +1,133 @@
+"""The proposed system, assembled: content-centric display management.
+
+:class:`ContentCentricManager` is the one-stop facade a downstream user
+instantiates: given a panel and a framebuffer it builds the meter, the
+section table for the panel's rate levels, the section-based governor
+and (by default) the touch-boost wrapper, and drives them on the
+simulation clock.  Sessions that want a different policy (a baseline,
+an ablation) can pass their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..display.panel import DisplayPanel
+from ..errors import ConfigurationError
+from ..graphics.framebuffer import Framebuffer
+from ..sim.engine import Simulator
+from ..units import ensure_positive
+from .content_rate import ContentRateMeter, MeterConfig
+from .governor import (
+    GovernorDriver,
+    GovernorPolicy,
+    SectionBasedGovernor,
+    TouchBoostGovernor,
+)
+from .section_table import SectionTable
+
+
+@dataclass(frozen=True)
+class ManagerConfig:
+    """Tunables of the proposed system.
+
+    Parameters
+    ----------
+    meter:
+        Content-rate meter configuration (grid budget, window).
+    decision_period_s:
+        Governor decision period.
+    touch_boost:
+        Enable the touch-boosting wrapper (the paper's full system).
+    boost_hold_s:
+        How long a touch pins the maximum refresh rate.
+    """
+
+    meter: MeterConfig = MeterConfig()
+    decision_period_s: float = 0.2
+    touch_boost: bool = True
+    boost_hold_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.decision_period_s, "decision_period_s")
+        ensure_positive(self.boost_hold_s, "boost_hold_s")
+
+
+class ContentCentricManager:
+    """The paper's display power-management system.
+
+    Parameters
+    ----------
+    sim:
+        Simulation clock.
+    panel:
+        The display panel to control.
+    framebuffer:
+        The framebuffer the meter observes.
+    config:
+        System tunables; defaults reproduce the paper's configuration
+        (9K-sample grid, 1 s window, touch boosting on).
+    policy:
+        Override the decision policy.  When omitted, a
+        :class:`SectionBasedGovernor` over the panel's Equation (1)
+        table is built, wrapped in :class:`TouchBoostGovernor` when
+        ``config.touch_boost`` is set.
+    """
+
+    def __init__(self, sim: Simulator, panel: DisplayPanel,
+                 framebuffer: Framebuffer,
+                 config: Optional[ManagerConfig] = None,
+                 policy: Optional[GovernorPolicy] = None) -> None:
+        self.config = config or ManagerConfig()
+        self.panel = panel
+        self.meter = ContentRateMeter(framebuffer, self.config.meter)
+        self.table = SectionTable.for_panel(panel.spec)
+        if policy is None:
+            section = SectionBasedGovernor(self.table, self.meter)
+            if self.config.touch_boost:
+                policy = TouchBoostGovernor(
+                    section, boost_rate_hz=panel.spec.max_refresh_hz,
+                    hold_s=self.config.boost_hold_s)
+            else:
+                policy = section
+        self.policy = policy
+        self.driver = GovernorDriver(sim, panel, policy,
+                                     self.config.decision_period_s)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin governing the panel."""
+        if self._started:
+            raise ConfigurationError("manager already started")
+        self._started = True
+        self.driver.start()
+
+    def stop(self) -> None:
+        """Stop governing; the panel keeps its last rate."""
+        if not self._started:
+            return
+        self._started = False
+        self.driver.stop()
+
+    # ------------------------------------------------------------------
+    # Event entry points
+    # ------------------------------------------------------------------
+    def on_touch(self, time: float) -> None:
+        """Report a touch event (from the input subsystem)."""
+        self.driver.notify_touch(time)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def governor_name(self) -> str:
+        """Display name of the active policy."""
+        return self.policy.name
+
+    def content_rate(self, now: float) -> float:
+        """Convenience passthrough to the meter."""
+        return self.meter.content_rate(now)

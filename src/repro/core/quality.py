@@ -1,0 +1,139 @@
+"""Display-quality analysis (Section 4.4 of the paper).
+
+Refresh-rate control can hurt quality: while the rate is lower than the
+application's true content rate, several content changes coalesce into
+one displayed frame — the user sees dropped frames.  The paper
+quantifies this as
+
+    display quality = estimated content rate / actual content rate
+
+where *actual* is the rate at which the application generates distinct
+content and *estimated* is what actually reaches the screen (equal to
+the meter's measurement whenever the meter is accurate).  It also
+reports *frames dropped per second* = actual rate - displayed rate.
+
+The simulation has clean ground truth for all three quantities:
+
+* actual content: the application model's content-change event log;
+* displayed content: the compositor's full-buffer meaningful-frame
+  count (independent of the grid meter);
+* measured content: the grid meter's meaningful-frame log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sim.tracing import EventLog
+from ..units import ensure_positive
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Quality metrics for one session.
+
+    All rates are events per second over the whole session.
+    """
+
+    duration_s: float
+    actual_content_fps: float
+    displayed_content_fps: float
+    measured_content_fps: float
+
+    @property
+    def display_quality(self) -> float:
+        """Displayed / actual content rate, clamped to [0, 1].
+
+        1.0 means every distinct piece of content the app produced made
+        it to the screen as its own frame.  With no content at all the
+        quality is perfect by definition.
+        """
+        if self.actual_content_fps == 0:
+            return 1.0
+        return min(1.0, self.displayed_content_fps /
+                   self.actual_content_fps)
+
+    @property
+    def measured_quality(self) -> float:
+        """Measured / actual content rate (what the paper's Figure 11
+        plots: the system's own estimate against ground truth)."""
+        if self.actual_content_fps == 0:
+            return 1.0
+        return min(1.0, self.measured_content_fps /
+                   self.actual_content_fps)
+
+    @property
+    def dropped_fps(self) -> float:
+        """Content frames per second that never reached the screen."""
+        return max(0.0, self.actual_content_fps -
+                   self.displayed_content_fps)
+
+    @property
+    def metering_error(self) -> float:
+        """Meter error against displayed ground truth, as a fraction."""
+        if self.displayed_content_fps == 0:
+            return 0.0 if self.measured_content_fps == 0 else float("inf")
+        return abs(self.measured_content_fps -
+                   self.displayed_content_fps) / self.displayed_content_fps
+
+
+def quality_vs_baseline(governed_displayed_fps: float,
+                        baseline_displayed_fps: float) -> float:
+    """The paper's Figure 11 quality: governed over baseline content rate.
+
+    The paper measures the "actual" content rate in a fixed-60 Hz run
+    of the same script and divides the governed system's content rate
+    by it.  Even at 60 Hz some content instants coalesce (V-Sync), so
+    normalising by the baseline isolates the quality lost *to the
+    controller* from the quality ceiling of the panel itself.
+    """
+    if baseline_displayed_fps < 0 or governed_displayed_fps < 0:
+        raise ConfigurationError("content rates must be >= 0")
+    if baseline_displayed_fps == 0:
+        return 1.0
+    return min(1.0, governed_displayed_fps / baseline_displayed_fps)
+
+
+def compute_quality(actual_content: EventLog, displayed_content: EventLog,
+                    measured_content: EventLog,
+                    duration_s: float) -> QualityReport:
+    """Build a :class:`QualityReport` from session event logs.
+
+    Parameters
+    ----------
+    actual_content:
+        Ground-truth content-change events from the application model.
+    displayed_content:
+        Meaningful frame updates that reached the framebuffer
+        (compositor ground truth).
+    measured_content:
+        Meaningful frames as judged by the grid meter.
+    duration_s:
+        Session length in seconds.
+    """
+    ensure_positive(duration_s, "duration_s")
+    displayed = len(displayed_content)
+    measured = len(measured_content)
+    actual = len(actual_content)
+    if displayed > 0 and actual > 0:
+        # The first displayed frame (cold framebuffer) is meaningful by
+        # definition even for a static app; exclude that bootstrap frame
+        # so a zero-content session reports zero displayed content.
+        first_actual = actual_content.times[0]
+        if displayed_content.times[0] < first_actual:
+            displayed -= 1
+        if measured > 0 and measured_content.times[0] < first_actual:
+            measured -= 1
+    elif actual == 0:
+        # No content at all: any "meaningful" frames are bootstrap.
+        displayed = 0
+        measured = 0
+    if displayed < 0 or measured < 0:
+        raise ConfigurationError("event logs are inconsistent")
+    return QualityReport(
+        duration_s=duration_s,
+        actual_content_fps=actual / duration_s,
+        displayed_content_fps=displayed / duration_s,
+        measured_content_fps=measured / duration_s,
+    )

@@ -1,0 +1,223 @@
+"""Section-based refresh-rate table — Equation (1) of the paper.
+
+A naive controller that picks the refresh rate *equal to* the measured
+content rate deadlocks: V-Sync clips the measurable content rate at the
+current refresh rate, so once the rate drops the system can never
+observe the content rate rising above it.  The paper's fix is to keep
+the selected refresh rate strictly *above* the section of content rates
+it serves.
+
+With the panel's rates sorted ascending ``r_1 < r_2 < ... < r_n``,
+Equation (1) defines the section thresholds as medians between adjacent
+rates, with a half-rate threshold at the bottom::
+
+    t_0 = r_1 / 2
+    t_i = (r_i + r_{i+1}) / 2      for i = 1 .. n-1
+
+and a content rate ``c`` selects rate ``r_{k+1}`` where ``k`` is the
+number of thresholds <= ``c`` (clamped to ``r_n``).  For the Galaxy S3's
+levels (20/24/30/40/60 Hz) this reproduces the table of Figure 5 exactly:
+
+=================  ==============
+Content rate       Refresh rate
+=================  ==============
+[0, 10) fps        20 Hz
+[10, 22) fps       24 Hz
+[22, 27) fps       30 Hz
+[27, 35) fps       40 Hz
+[35, ...) fps      60 Hz
+=================  ==============
+
+Note the headroom property: every section's refresh rate exceeds the
+section's largest content rate, so V-Sync never hides a rising content
+rate from the meter (until the panel maximum, where there is nothing
+higher to switch to anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..units import ensure_non_negative
+from ..display.spec import PanelSpec
+
+
+@dataclass(frozen=True)
+class Section:
+    """One row of the section table.
+
+    ``low <= content_rate < high`` selects ``refresh_rate_hz``; the top
+    section's ``high`` is infinity.
+    """
+
+    low: float
+    high: float
+    refresh_rate_hz: float
+
+    def contains(self, content_rate: float) -> bool:
+        """True if ``content_rate`` falls in this section."""
+        return self.low <= content_rate < self.high
+
+
+class SectionTable:
+    """Maps a measured content rate to a panel refresh rate.
+
+    Build with :meth:`from_rates` (explicit level list) or
+    :meth:`for_panel` (from a :class:`~repro.display.spec.PanelSpec`).
+    """
+
+    def __init__(self, sections: Sequence[Section]) -> None:
+        if not sections:
+            raise ConfigurationError("section table cannot be empty")
+        self._sections = tuple(sections)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rates(cls, refresh_rates_hz: Sequence[float]) -> "SectionTable":
+        """Build the Equation (1) table for a discrete rate set."""
+        if not refresh_rates_hz:
+            raise ConfigurationError(
+                "need at least one refresh rate to build a section table")
+        rates = sorted(float(r) for r in refresh_rates_hz)
+        if any(r <= 0 for r in rates):
+            raise ConfigurationError(
+                f"refresh rates must be > 0, got {rates}")
+        if len(set(rates)) != len(rates):
+            raise ConfigurationError(
+                f"duplicate refresh rates in {rates}")
+        if len(rates) == 1:
+            return cls([Section(0.0, float("inf"), rates[0])])
+        # Equation (1): t_0 = r_1/2, then medians between adjacent
+        # rates.  The boundary for stepping from r_k up to r_{k+1} is
+        # the median of (r_{k-1}, r_k): once the content rate crosses
+        # it, r_k no longer leaves headroom, so the next level up is
+        # selected.  This yields n-1 thresholds for n rates and
+        # reproduces the Figure 5 table (10/22/27/35 for the Galaxy
+        # S3's 20/24/30/40/60 Hz).
+        thresholds = [rates[0] / 2.0]
+        thresholds += [(rates[i] + rates[i + 1]) / 2.0
+                       for i in range(len(rates) - 2)]
+        sections = []
+        low = 0.0
+        for rate, high in zip(rates[:-1], thresholds):
+            sections.append(Section(low, high, rate))
+            low = high
+        sections.append(Section(low, float("inf"), rates[-1]))
+        return cls(sections)
+
+    @classmethod
+    def for_panel(cls, spec: PanelSpec) -> "SectionTable":
+        """Build the table for a panel's supported rates."""
+        return cls.from_rates(spec.refresh_rates_hz)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, content_rate: float) -> float:
+        """The refresh rate for a measured content rate (fps)."""
+        ensure_non_negative(content_rate, "content_rate")
+        for section in self._sections:
+            if section.contains(content_rate):
+                return section.refresh_rate_hz
+        # Unreachable: the top section extends to infinity.
+        raise AssertionError("section table has a gap")  # pragma: no cover
+
+    @property
+    def sections(self) -> Tuple[Section, ...]:
+        """All sections, ordered by content rate."""
+        return self._sections
+
+    @property
+    def refresh_rates_hz(self) -> Tuple[float, ...]:
+        """The distinct refresh rates the table can select, ascending."""
+        return tuple(sorted({s.refresh_rate_hz for s in self._sections}))
+
+    @property
+    def max_rate_hz(self) -> float:
+        """The highest selectable refresh rate."""
+        return self.refresh_rates_hz[-1]
+
+    @property
+    def min_rate_hz(self) -> float:
+        """The lowest selectable refresh rate."""
+        return self.refresh_rates_hz[0]
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        prev_high = 0.0
+        prev_rate = 0.0
+        for i, section in enumerate(self._sections):
+            if section.low != prev_high:
+                raise ConfigurationError(
+                    f"section {i} starts at {section.low}, expected "
+                    f"{prev_high} (table must be contiguous from 0)")
+            if section.high <= section.low:
+                raise ConfigurationError(
+                    f"section {i} is empty or inverted: "
+                    f"[{section.low}, {section.high})")
+            if section.refresh_rate_hz <= prev_rate:
+                raise ConfigurationError(
+                    f"section {i} refresh rate {section.refresh_rate_hz} "
+                    f"does not increase over previous {prev_rate}")
+            prev_high = section.high
+            prev_rate = section.refresh_rate_hz
+        if self._sections[-1].high != float("inf"):
+            raise ConfigurationError(
+                "last section must extend to infinity")
+
+    def biased(self, steps: int = 1) -> "SectionTable":
+        """A quality-priority variant: every section selects a rate
+        ``steps`` levels higher (clamped at the panel maximum).
+
+        Extension: the product knob between "battery saver" (the paper
+        table) and "smooth" modes.  Extra headroom means bursts climb
+        fewer levels (fewer dropped frames) at the cost of some panel
+        power; the ablation in
+        ``benchmarks/ablations/bench_ablation_boost_hold.py``'s
+        companion quantifies the trade.  Sections whose biased rates
+        collide are merged, preserving the table invariants.
+        """
+        if steps < 0:
+            raise ConfigurationError(
+                f"steps must be >= 0, got {steps}")
+        if steps == 0:
+            return self
+        rates = list(self.refresh_rates_hz)
+        index_of = {rate: i for i, rate in enumerate(rates)}
+        merged: list = []
+        for section in self._sections:
+            new_rate = rates[min(index_of[section.refresh_rate_hz]
+                                 + steps, len(rates) - 1)]
+            if merged and merged[-1].refresh_rate_hz == new_rate:
+                merged[-1] = Section(merged[-1].low, section.high,
+                                     new_rate)
+            else:
+                merged.append(Section(section.low, section.high,
+                                      new_rate))
+        return SectionTable(merged)
+
+    def headroom_ok(self) -> bool:
+        """Check the anti-deadlock property: every section except the
+        top one assigns a refresh rate strictly above the section's
+        highest content rate."""
+        return all(s.refresh_rate_hz > s.high - 1e-12
+                   or s.high == float("inf")
+                   for s in self._sections[:-1]) and \
+            self._sections[-1].refresh_rate_hz >= self._sections[-1].low
+
+    def describe(self) -> str:
+        """Human-readable rendering (matches the Figure 5 table)."""
+        lines = []
+        for s in self._sections:
+            high = "inf" if s.high == float("inf") else f"{s.high:g}"
+            lines.append(
+                f"content [{s.low:g}, {high}) fps -> "
+                f"{s.refresh_rate_hz:g} Hz")
+        return "\n".join(lines)

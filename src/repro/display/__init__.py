@@ -1,0 +1,30 @@
+"""Display hardware model.
+
+Models the part of the stack the paper's kernel patch touches: a panel
+that generates V-Sync at one of a discrete set of refresh rates and can
+be switched between them at frame boundaries.  Device presets include
+the paper's Galaxy S3 LTE (five levels: 60/40/30/24/20 Hz) plus other
+level sets used for the section-table generalisation experiments.
+"""
+
+from .panel import DisplayPanel
+from .presets import (
+    FIXED_60_PANEL,
+    GALAXY_S3_PANEL,
+    LTPO_120_PANEL,
+    THREE_LEVEL_PANEL,
+    panel_preset,
+    panel_preset_names,
+)
+from .spec import PanelSpec
+
+__all__ = [
+    "DisplayPanel",
+    "FIXED_60_PANEL",
+    "GALAXY_S3_PANEL",
+    "LTPO_120_PANEL",
+    "PanelSpec",
+    "THREE_LEVEL_PANEL",
+    "panel_preset",
+    "panel_preset_names",
+]

@@ -1,0 +1,169 @@
+"""The display panel: V-Sync generation and refresh-rate switching.
+
+The panel owns the V-Sync clock.  Everything downstream — the
+compositor's latch, the application render loops, the V-Sync throttle
+that caps the measurable content rate — hangs off the callbacks this
+class fires.
+
+Rate switches take effect at the *next frame boundary* (the next
+V-Sync), which is how real panel mode switches behave and avoids the
+drift that immediate rescheduling would introduce under rapid governor
+decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import DisplayError
+from ..sim.engine import EventHandle, Simulator
+from ..sim.tracing import StepSeries
+from .spec import PanelSpec
+
+#: Callback fired at each V-Sync: ``(time)``.
+VsyncListener = Callable[[float], None]
+
+#: Callback fired when a rate switch takes effect: ``(time, new_rate_hz)``.
+RateChangeListener = Callable[[float, float], None]
+
+
+class DisplayPanel:
+    """A panel scanning out at one of a discrete set of refresh rates.
+
+    Parameters
+    ----------
+    sim:
+        Simulator to schedule V-Syncs on.
+    spec:
+        The panel description (resolution + supported rates).
+    initial_rate_hz:
+        Refresh rate at session start; defaults to the maximum level
+        (Android's fixed 60 Hz on the paper's device).
+    """
+
+    def __init__(self, sim: Simulator, spec: PanelSpec,
+                 initial_rate_hz: Optional[float] = None) -> None:
+        self._sim = sim
+        self.spec = spec
+        rate = (spec.max_refresh_hz if initial_rate_hz is None
+                else spec.validate_rate(initial_rate_hz))
+        self._rate = rate
+        self._pending_rate: Optional[float] = None
+        self._vsync_listeners: List[VsyncListener] = []
+        self._rate_listeners: List[RateChangeListener] = []
+        self._vsync_count = 0
+        self._rate_switches = 0
+        self._running = False
+        self._next_vsync: Optional[EventHandle] = None
+        self._rate_history = StepSeries("refresh_rate_hz", rate, sim.now)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin generating V-Syncs (first one is a full period away)."""
+        if self._running:
+            raise DisplayError("panel already started")
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop generating V-Syncs."""
+        if not self._running:
+            return
+        self._running = False
+        if self._next_vsync is not None:
+            self._sim.cancel(self._next_vsync)
+            self._next_vsync = None
+
+    @property
+    def running(self) -> bool:
+        """True while the panel is scanning."""
+        return self._running
+
+    # ------------------------------------------------------------------
+    # Refresh rate
+    # ------------------------------------------------------------------
+    @property
+    def refresh_rate_hz(self) -> float:
+        """The rate currently in effect."""
+        return self._rate
+
+    @property
+    def target_rate_hz(self) -> float:
+        """The rate that will be in effect after any pending switch."""
+        return self._pending_rate if self._pending_rate is not None \
+            else self._rate
+
+    @property
+    def rate_history(self) -> StepSeries:
+        """Piecewise-constant trace of the effective refresh rate."""
+        return self._rate_history
+
+    @property
+    def vsync_count(self) -> int:
+        """V-Syncs generated so far."""
+        return self._vsync_count
+
+    @property
+    def rate_switches(self) -> int:
+        """Number of effective rate changes (requests to the current
+        rate do not count)."""
+        return self._rate_switches
+
+    def set_refresh_rate(self, rate_hz: float) -> None:
+        """Request a switch to ``rate_hz`` at the next frame boundary.
+
+        ``rate_hz`` must be one of the panel's discrete levels — this is
+        the kernel interface the paper's patch adds, and real hardware
+        rejects arbitrary rates.
+        """
+        rate = self.spec.validate_rate(rate_hz)
+        if rate == self.target_rate_hz:
+            return
+        if not self._running:
+            # Before scan-out starts the switch is immediate.
+            self._apply_rate(rate)
+            return
+        self._pending_rate = rate
+
+    # ------------------------------------------------------------------
+    # Listeners
+    # ------------------------------------------------------------------
+    def add_vsync_listener(self, listener: VsyncListener) -> None:
+        """Register a V-Sync callback (compositor, app render loops)."""
+        self._vsync_listeners.append(listener)
+
+    def add_rate_change_listener(self, listener: RateChangeListener) -> None:
+        """Register a callback fired when a switch takes effect."""
+        self._rate_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _apply_rate(self, rate: float) -> None:
+        if rate == self._rate:
+            return
+        self._rate = rate
+        self._rate_switches += 1
+        self._rate_history.set(self._sim.now, rate)
+        for listener in self._rate_listeners:
+            listener(self._sim.now, rate)
+
+    def _schedule_next(self) -> None:
+        period = 1.0 / self._rate
+        self._next_vsync = self._sim.call_after(
+            period, self._fire_vsync, name="vsync")
+
+    def _fire_vsync(self, sim: Simulator) -> None:
+        if not self._running:
+            return
+        self._vsync_count += 1
+        for listener in self._vsync_listeners:
+            listener(sim.now)
+        # A pending switch takes effect at this frame boundary: the
+        # *next* V-Sync interval runs at the new rate.
+        if self._pending_rate is not None:
+            self._apply_rate(self._pending_rate)
+            self._pending_rate = None
+        self._schedule_next()

@@ -1,0 +1,75 @@
+"""Device panel presets.
+
+``GALAXY_S3_PANEL`` is the paper's evaluation device (Galaxy S3 LTE,
+SHV-E210S): a 720x1280 panel whose kernel patch exposes five refresh
+levels — 60, 40, 30, 24 and 20 Hz.  The other presets exercise the
+paper's note that the section table must be rebuilt for different level
+sets: a fixed-60 panel (no control possible — the stock baseline), a
+coarse three-level panel, and a modern LTPO-style panel with levels
+down to 1 Hz.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import ConfigurationError
+from .spec import PanelSpec
+
+#: The paper's device: Galaxy S3 LTE with the refresh-rate kernel patch.
+GALAXY_S3_PANEL = PanelSpec(
+    name="Samsung Galaxy S3 LTE (SHV-E210S)",
+    width=720,
+    height=1280,
+    refresh_rates_hz=(20.0, 24.0, 30.0, 40.0, 60.0),
+)
+
+#: A stock phone panel: 60 Hz only (the paper's baseline configuration).
+FIXED_60_PANEL = PanelSpec(
+    name="Stock 60 Hz panel",
+    width=720,
+    height=1280,
+    refresh_rates_hz=(60.0,),
+)
+
+#: A hypothetical coarse panel for section-table generalisation tests.
+THREE_LEVEL_PANEL = PanelSpec(
+    name="Coarse three-level panel",
+    width=720,
+    height=1280,
+    refresh_rates_hz=(15.0, 30.0, 60.0),
+)
+
+#: A modern LTPO-style panel (extension experiment): levels to 1 Hz and
+#: above 60 Hz, showing the scheme scales to richer hardware.
+LTPO_120_PANEL = PanelSpec(
+    name="LTPO 120 Hz panel",
+    width=1080,
+    height=2400,
+    refresh_rates_hz=(1.0, 10.0, 24.0, 30.0, 40.0, 60.0, 90.0, 120.0),
+)
+
+_PRESETS = {
+    "galaxy-s3": GALAXY_S3_PANEL,
+    "fixed-60": FIXED_60_PANEL,
+    "three-level": THREE_LEVEL_PANEL,
+    "ltpo-120": LTPO_120_PANEL,
+}
+
+
+def panel_preset(name: str) -> PanelSpec:
+    """Look up a panel preset by its short name.
+
+    Valid names are returned by :func:`panel_preset_names`.
+    """
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown panel preset {name!r}; "
+            f"available: {sorted(_PRESETS)}") from None
+
+
+def panel_preset_names() -> Tuple[str, ...]:
+    """All registered preset names, sorted."""
+    return tuple(sorted(_PRESETS))

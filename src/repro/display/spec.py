@@ -1,0 +1,101 @@
+"""Panel specifications.
+
+A :class:`PanelSpec` captures what the refresh-rate controller needs to
+know about a device: the native resolution and the discrete set of
+refresh rates the hardware supports.  The paper stresses that the
+section table "should be redefined when the available refresh rates are
+changed" — the spec is the single source of that level set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..errors import ConfigurationError
+from ..units import ensure_positive_int
+
+
+@dataclass(frozen=True)
+class PanelSpec:
+    """Immutable description of a display panel.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device/panel name.
+    width, height:
+        Native resolution in pixels.
+    refresh_rates_hz:
+        The discrete refresh rates the panel supports, in hertz.  Stored
+        sorted ascending; duplicates are rejected.
+    """
+
+    name: str
+    width: int
+    height: int
+    refresh_rates_hz: Tuple[float, ...] = field(default=(60.0,))
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.width, "width")
+        ensure_positive_int(self.height, "height")
+        if not self.refresh_rates_hz:
+            raise ConfigurationError(
+                f"panel {self.name!r} must support at least one "
+                f"refresh rate")
+        rates = tuple(float(r) for r in self.refresh_rates_hz)
+        if any(r <= 0 for r in rates):
+            raise ConfigurationError(
+                f"panel {self.name!r}: refresh rates must be > 0, "
+                f"got {rates}")
+        if len(set(rates)) != len(rates):
+            raise ConfigurationError(
+                f"panel {self.name!r}: duplicate refresh rates in {rates}")
+        object.__setattr__(self, "refresh_rates_hz", tuple(sorted(rates)))
+
+    @property
+    def min_refresh_hz(self) -> float:
+        """Lowest supported refresh rate."""
+        return self.refresh_rates_hz[0]
+
+    @property
+    def max_refresh_hz(self) -> float:
+        """Highest supported refresh rate."""
+        return self.refresh_rates_hz[-1]
+
+    @property
+    def num_levels(self) -> int:
+        """Number of discrete refresh-rate levels."""
+        return len(self.refresh_rates_hz)
+
+    @property
+    def pixel_count(self) -> int:
+        """Total native pixels (``width * height``)."""
+        return self.width * self.height
+
+    def supports(self, rate_hz: float) -> bool:
+        """True if ``rate_hz`` is one of the panel's discrete levels."""
+        return any(abs(rate_hz - r) < 1e-9 for r in self.refresh_rates_hz)
+
+    def validate_rate(self, rate_hz: float) -> float:
+        """Return the canonical level equal to ``rate_hz`` or raise."""
+        for r in self.refresh_rates_hz:
+            if abs(rate_hz - r) < 1e-9:
+                return r
+        raise ConfigurationError(
+            f"panel {self.name!r} does not support {rate_hz} Hz; "
+            f"levels are {self.refresh_rates_hz}")
+
+    def scaled(self, factor: int) -> "PanelSpec":
+        """A spec with resolution divided by ``factor`` (same levels).
+
+        Simulations run at reduced resolution for speed; the metering
+        grid is specified in absolute sample counts so results transfer.
+        """
+        ensure_positive_int(factor, "factor")
+        return PanelSpec(
+            name=f"{self.name} (1/{factor} resolution)",
+            width=max(1, self.width // factor),
+            height=max(1, self.height // factor),
+            refresh_rates_hz=self.refresh_rates_hz,
+        )

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subclasses are
+grouped by subsystem to keep error handling in application code precise.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was used incorrectly (e.g. scheduling in the
+    past, or running a simulator that was already finished)."""
+
+
+class DisplayError(ReproError):
+    """Display-hardware model misuse (e.g. requesting an unsupported
+    refresh rate on a panel with a discrete level set)."""
+
+
+class GraphicsError(ReproError):
+    """Graphics-stack misuse (e.g. compositing surfaces whose geometry
+    does not match the framebuffer)."""
+
+
+class MeteringError(ReproError):
+    """Content-rate metering failure (e.g. comparing framebuffers of
+    different shapes, or sampling an empty grid)."""
+
+
+class WorkloadError(ReproError):
+    """Application-workload misuse (e.g. an unknown app name requested
+    from the catalog)."""

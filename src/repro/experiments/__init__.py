@@ -1,0 +1,50 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Each driver runs the sessions it needs (sharing the cached 30-app
+survey where possible), returns a typed result object, and knows how to
+format itself as the rows/series the paper reports.  The modules are
+consumed by ``benchmarks/`` (assertions + printed output) and
+``examples/`` (narrative walk-throughs).
+
+=========  =====================================================
+Module     Paper content
+=========  =====================================================
+fig2       Frame-rate traces: Facebook vs Jelly Splash (fixed 60)
+fig3       Meaningful vs redundant frame rate, 30-app survey
+fig6       Metering accuracy and cost vs compared pixels
+fig7       Content/refresh-rate traces under control (+/- boost)
+fig8       Power saved over time, Facebook & Jelly Splash
+fig9       Per-app power saving, 30 apps
+fig10      Estimated vs actual content rate per app
+fig11      Display quality per app
+table1     Category summary (saved power %, quality %)
+=========  =====================================================
+"""
+
+from .survey import SurveyConfig, SurveyResult, run_survey
+from . import (fig2, fig3, fig5, fig6, fig7, fig8, fig9, fig10,
+               fig11, table1)
+from .registry import EXPERIMENTS, ExperimentInfo
+from .replication import ReplicatedComparison, replicate_comparison
+from .report import generate_report
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentInfo",
+    "ReplicatedComparison",
+    "SurveyConfig",
+    "SurveyResult",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "generate_report",
+    "replicate_comparison",
+    "run_survey",
+    "table1",
+]

@@ -1,0 +1,86 @@
+"""Figure 11 — display quality per application.
+
+Display quality = governed content rate / actual (fixed-60) content
+rate, per app.  The paper's claims, asserted by the benchmark:
+
+* with section-based control alone, quality stays above ~55 %
+  (general) and ~85 % (games) for 80 % of apps — visible degradation;
+* with touch boosting, quality stays above ~95 % for 80 % of apps in
+  both categories, and above ~90 % for every app.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis.stats import percentile_of_apps
+from ..analysis.tables import format_table
+from ..apps.profile import AppCategory
+from ..core.quality import quality_vs_baseline
+from .survey import PROPOSED, SurveyConfig, SurveyResult, run_survey
+
+
+@dataclass(frozen=True)
+class AppQuality:
+    """One app's Figure 11 bars (fractions in [0, 1])."""
+
+    app_name: str
+    category: AppCategory
+    quality: Dict[str, float]  # method -> quality fraction
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    """Per-app display quality for both methods."""
+
+    rows: List[AppQuality]
+
+    def category_rows(self, category: AppCategory) -> List[AppQuality]:
+        return [r for r in self.rows if r.category is category]
+
+    def quality_80th(self, category: AppCategory, method: str) -> float:
+        """Quality that 80 % of the category's apps stay above."""
+        values = [r.quality[method]
+                  for r in self.category_rows(category)]
+        return percentile_of_apps(values, 0.8, tail="upper")
+
+    def worst_quality(self, method: str) -> float:
+        """The lowest quality across all 30 apps."""
+        return min(r.quality[method] for r in self.rows)
+
+    def format(self) -> str:
+        rows = []
+        for r in self.rows:
+            rows.append([
+                r.app_name,
+                r.category.value,
+                f"{100.0 * r.quality['section']:.1f}%",
+                f"{100.0 * r.quality['section+boost']:.1f}%",
+            ])
+        return format_table(
+            ["app", "category", "quality (section)", "quality (+boost)"],
+            rows,
+            title="Figure 11: display quality vs fixed 60 Hz",
+        )
+
+
+def run(survey: SurveyResult = None,
+        config: SurveyConfig = None) -> Fig11Result:
+    """Build Figure 11 from the shared survey."""
+    survey = survey or run_survey(config)
+    rows = []
+    for app in survey.config.apps:
+        baseline = survey.baseline(app)
+        quality = {
+            m: quality_vs_baseline(
+                survey.governed(app, m).mean_content_rate_fps,
+                baseline.mean_content_rate_fps)
+            for m in PROPOSED
+        }
+        rows.append(AppQuality(
+            app_name=app,
+            category=baseline.profile.category,
+            quality=quality,
+        ))
+    return Fig11Result(rows=rows)

@@ -1,0 +1,91 @@
+"""Figure 2 — frame-rate traces of Facebook and Jelly Splash.
+
+The paper's motivating observation: under the stock fixed-60 Hz
+configuration, Facebook's frame rate sits near zero except around user
+requests, while Jelly Splash holds ~60 fps even when the content does
+not change.  This driver runs both apps under the fixed baseline and
+returns their 1-second-binned frame-rate and content-rate traces plus
+the touch instants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..analysis.tables import format_table
+from ..sim.session import SessionConfig, run_session
+
+#: The two trace applications of Figure 2.
+TRACE_APPS = ("Facebook", "Jelly Splash")
+
+
+@dataclass(frozen=True)
+class AppTrace:
+    """One app's fixed-60 Hz trace."""
+
+    app_name: str
+    bin_centers_s: np.ndarray
+    frame_rate_fps: np.ndarray
+    content_rate_fps: np.ndarray
+    touch_times_s: Tuple[float, ...]
+
+    @property
+    def median_frame_rate(self) -> float:
+        """Median of the binned frame rate."""
+        return float(np.median(self.frame_rate_fps))
+
+    @property
+    def mean_redundant_rate(self) -> float:
+        """Mean redundant frame rate across the trace."""
+        return float(np.mean(self.frame_rate_fps - self.content_rate_fps))
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Both traces, plus the session length."""
+
+    duration_s: float
+    traces: Dict[str, AppTrace]
+
+    def format(self) -> str:
+        """Summary rows in the shape of the figure's narrative."""
+        rows = []
+        for name in TRACE_APPS:
+            t = self.traces[name]
+            rows.append([
+                name,
+                f"{t.median_frame_rate:.1f}",
+                f"{float(np.mean(t.frame_rate_fps)):.1f}",
+                f"{float(np.mean(t.content_rate_fps)):.1f}",
+                f"{t.mean_redundant_rate:.1f}",
+                f"{len(t.touch_times_s)}",
+            ])
+        return format_table(
+            ["app", "median fps", "mean fps", "mean content fps",
+             "mean redundant fps", "touches"],
+            rows,
+            title="Figure 2: frame rate under fixed 60 Hz",
+        )
+
+
+def run(duration_s: float = 60.0, seed: int = 1) -> Fig2Result:
+    """Run the Figure 2 sessions."""
+    traces: Dict[str, AppTrace] = {}
+    for app in TRACE_APPS:
+        session = run_session(SessionConfig(
+            app=app, governor="fixed", duration_s=duration_s, seed=seed))
+        centers, frame_rate = session.compositions.binned_rate(
+            0.0, duration_s, 1.0)
+        _, content_rate = session.meaningful_compositions.binned_rate(
+            0.0, duration_s, 1.0)
+        traces[app] = AppTrace(
+            app_name=app,
+            bin_centers_s=centers,
+            frame_rate_fps=frame_rate,
+            content_rate_fps=content_rate,
+            touch_times_s=session.touch_script.times,
+        )
+    return Fig2Result(duration_s=duration_s, traces=traces)

@@ -1,0 +1,84 @@
+"""Figure 5 — the section table and its worked control example.
+
+Figure 5 is a design illustration rather than a measurement, but it
+pins two concrete artefacts the reproduction must match exactly:
+
+* the predefined section table for the Galaxy S3's five levels
+  (0–10 fps → 20 Hz, 10–22 → 24, 22–27 → 30, 27–35 → 40, 35+ → 60);
+* the worked example: content at 8 fps selects 20 Hz; when the content
+  rate rises to 33 fps the refresh rate becomes 40 Hz.
+
+This driver regenerates the table from Equation (1), replays the
+worked example, and verifies both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..analysis.tables import format_table
+from ..core.section_table import SectionTable
+from ..display.presets import GALAXY_S3_PANEL
+
+#: The exact table printed in Figure 5: (low, high, refresh).
+PAPER_TABLE: Tuple[Tuple[float, float, float], ...] = (
+    (0.0, 10.0, 20.0),
+    (10.0, 22.0, 24.0),
+    (22.0, 27.0, 30.0),
+    (27.0, 35.0, 40.0),
+    (35.0, float("inf"), 60.0),
+)
+
+#: Figure 5's worked control example: (content fps, expected Hz).
+WORKED_EXAMPLE: Tuple[Tuple[float, float], ...] = (
+    (8.0, 20.0),
+    (33.0, 40.0),
+)
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """The regenerated table and the example outcomes."""
+
+    table: SectionTable
+    matches_paper: bool
+    example_outcomes: Tuple[Tuple[float, float, float], ...]
+
+    def format(self) -> str:
+        rows: List[List[str]] = []
+        for section in self.table.sections:
+            high = ("inf" if section.high == float("inf")
+                    else f"{section.high:g}")
+            rows.append([f"[{section.low:g}, {high}) fps",
+                         f"{section.refresh_rate_hz:g} Hz"])
+        table_text = format_table(
+            ["content rate", "refresh rate"], rows,
+            title="Figure 5: predefined section table (Galaxy S3)")
+        examples = "\n".join(
+            f"  content {content:g} fps -> {selected:g} Hz "
+            f"(paper: {expected:g} Hz)"
+            for content, expected, selected in self.example_outcomes)
+        verdict = ("table matches the paper exactly"
+                   if self.matches_paper else
+                   "TABLE DIVERGES FROM THE PAPER")
+        return f"{table_text}\n{examples}\n{verdict}"
+
+
+def run() -> Fig5Result:
+    """Regenerate the Figure 5 table and worked example."""
+    table = SectionTable.for_panel(GALAXY_S3_PANEL)
+    matches = True
+    for section, (low, high, rate) in zip(table.sections, PAPER_TABLE):
+        if (section.low, section.high, section.refresh_rate_hz) != \
+                (low, high, rate):
+            matches = False
+    if len(table.sections) != len(PAPER_TABLE):
+        matches = False
+    outcomes = tuple(
+        (content, expected, table.lookup(content))
+        for content, expected in WORKED_EXAMPLE)
+    matches = matches and all(expected == selected
+                              for _, expected, selected in outcomes)
+    return Fig5Result(table=table, matches_paper=matches,
+                      example_outcomes=outcomes)

@@ -1,0 +1,92 @@
+"""Figure 9 — per-application power saving across the 30-app catalog.
+
+Reconstructed targets: general apps save ~120 mW on average and games
+~290 mW, with maxima around 440/530 mW; CGV and Daum Maps stand out
+among general apps; touch boosting costs a small give-back (~16 mW
+general, ~30 mW games).  The shape to reproduce: games save roughly
+2-3x more than general apps, and the redundant-frame generators (high
+``idle_submit_fps``) top both categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis.stats import MeanStd, mean_std
+from ..analysis.tables import format_table
+from ..apps.profile import AppCategory
+from .survey import PROPOSED, SurveyConfig, SurveyResult, run_survey
+
+
+@dataclass(frozen=True)
+class AppSaving:
+    """One bar of Figure 9."""
+
+    app_name: str
+    category: AppCategory
+    baseline_mw: float
+    saved_mw: Dict[str, float]  # method -> saved power
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Per-app savings for both methods."""
+
+    rows: List[AppSaving]
+
+    def category_rows(self, category: AppCategory) -> List[AppSaving]:
+        return [r for r in self.rows if r.category is category]
+
+    def category_mean(self, category: AppCategory,
+                      method: str) -> MeanStd:
+        """Mean ± std saved power of one category under one method."""
+        return mean_std([r.saved_mw[method]
+                         for r in self.category_rows(category)])
+
+    def category_max(self, category: AppCategory, method: str) -> float:
+        """Largest per-app saving in a category."""
+        return max(r.saved_mw[method]
+                   for r in self.category_rows(category))
+
+    def boost_giveback(self, category: AppCategory) -> float:
+        """Mean power given back by touch boosting in a category."""
+        section = self.category_mean(category, "section").mean
+        boost = self.category_mean(category, "section+boost").mean
+        return section - boost
+
+    def format(self) -> str:
+        rows = []
+        for r in self.rows:
+            rows.append([
+                r.app_name,
+                r.category.value,
+                f"{r.baseline_mw:.0f}",
+                f"{r.saved_mw['section']:.0f}",
+                f"{r.saved_mw['section+boost']:.0f}",
+            ])
+        return format_table(
+            ["app", "category", "baseline mW", "saved (section)",
+             "saved (+boost)"],
+            rows,
+            title="Figure 9: per-app power saving vs fixed 60 Hz",
+        )
+
+
+def run(survey: SurveyResult = None,
+        config: SurveyConfig = None) -> Fig9Result:
+    """Build Figure 9 from the shared survey."""
+    survey = survey or run_survey(config)
+    per_method = {m: {r.app_name: r for r in survey.measurements(m)}
+                  for m in PROPOSED}
+    rows = []
+    for app in survey.config.apps:
+        base = per_method[PROPOSED[0]][app]
+        rows.append(AppSaving(
+            app_name=app,
+            category=base.category,
+            baseline_mw=base.baseline_power_mw,
+            saved_mw={m: per_method[m][app].saved_power_mw
+                      for m in PROPOSED},
+        ))
+    return Fig9Result(rows=rows)

@@ -1,0 +1,91 @@
+"""Multi-seed replication: the paper's "repeated the same experiment".
+
+A single seed is one Monkey run; the paper's ± figures come from
+repetition.  This module reruns a (app, governor) comparison across
+several seeds and reports the saving and quality as mean ± std *across
+replications*, plus a simple bootstrap confidence interval on the mean
+saving — enough to state whether a saving is statistically real rather
+than one lucky script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.stats import MeanStd, mean_std
+from ..core.quality import quality_vs_baseline
+from ..errors import ConfigurationError
+from ..sim.session import SessionConfig, run_session
+
+
+@dataclass(frozen=True)
+class ReplicatedComparison:
+    """One (app, governor) comparison replicated across seeds."""
+
+    app: str
+    governor: str
+    seeds: Tuple[int, ...]
+    saved_mw: Tuple[float, ...]
+    quality: Tuple[float, ...]
+
+    @property
+    def saved_stats(self) -> MeanStd:
+        """Mean ± std of the saving across replications."""
+        return mean_std(list(self.saved_mw))
+
+    @property
+    def quality_stats(self) -> MeanStd:
+        """Mean ± std of the quality across replications."""
+        return mean_std([100.0 * q for q in self.quality])
+
+    def saving_confidence_interval(
+            self, confidence: float = 0.95,
+            resamples: int = 2000,
+            rng_seed: int = 0) -> Tuple[float, float]:
+        """Bootstrap CI on the mean saving (percentile method)."""
+        if not 0.0 < confidence < 1.0:
+            raise ConfigurationError(
+                f"confidence must be in (0, 1), got {confidence}")
+        values = np.asarray(self.saved_mw, dtype=float)
+        rng = np.random.default_rng(rng_seed)
+        means = np.array([
+            rng.choice(values, size=len(values), replace=True).mean()
+            for _ in range(resamples)
+        ])
+        alpha = (1.0 - confidence) / 2.0
+        return (float(np.percentile(means, 100.0 * alpha)),
+                float(np.percentile(means, 100.0 * (1.0 - alpha))))
+
+    def saving_is_significant(self, confidence: float = 0.95) -> bool:
+        """True if the CI on the mean saving excludes zero."""
+        low, _ = self.saving_confidence_interval(confidence)
+        return low > 0.0
+
+
+def replicate_comparison(app: str, governor: str = "section+boost",
+                         seeds: Sequence[int] = (1, 2, 3, 4, 5),
+                         duration_s: float = 45.0,
+                         ) -> ReplicatedComparison:
+    """Run the fixed-vs-governed comparison across several seeds."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    saved = []
+    quality = []
+    for seed in seeds:
+        base = run_session(SessionConfig(
+            app=app, governor="fixed", duration_s=duration_s,
+            seed=seed))
+        governed = run_session(SessionConfig(
+            app=app, governor=governor, duration_s=duration_s,
+            seed=seed))
+        saved.append(base.power_report().mean_power_mw -
+                     governed.power_report().mean_power_mw)
+        quality.append(quality_vs_baseline(
+            governed.mean_content_rate_fps,
+            base.mean_content_rate_fps))
+    return ReplicatedComparison(
+        app=app, governor=governor, seeds=tuple(seeds),
+        saved_mw=tuple(saved), quality=tuple(quality))

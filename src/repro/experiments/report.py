@@ -1,0 +1,68 @@
+"""One-command reproduction report: every paper artifact in one page.
+
+``generate_report()`` runs all the experiment drivers (sharing the
+30-app survey) and concatenates their formatted tables into a single
+markdown-ish document — the thing to attach when someone asks "show me
+the reproduction".  The CLI exposes it as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import __version__
+from ..units import ensure_positive
+from . import fig2, fig3, fig5, fig6, fig7, fig8, fig9, fig10, fig11
+from . import table1
+from .survey import SurveyConfig, SurveyResult, run_survey
+
+HEADER = """\
+# Reproduction report — Content-centric Display Energy Management
+# (Kim, Jung, Cha; DAC 2014) — repro {version}
+#
+# Regenerate with:  python -m repro report
+# Paper-vs-measured commentary: EXPERIMENTS.md
+"""
+
+
+def generate_report(survey: Optional[SurveyResult] = None,
+                    survey_config: Optional[SurveyConfig] = None,
+                    trace_duration_s: float = 60.0,
+                    fig6_duration_s: float = 12.0,
+                    seed: int = 1) -> str:
+    """Run every experiment and return the combined report text.
+
+    Parameters
+    ----------
+    survey:
+        A pre-run 30-app survey to reuse; None runs one (this is the
+        slow part, ~45 s of sessions per app).
+    survey_config:
+        Config for the survey when it must be run here.
+    trace_duration_s:
+        Length of the Figure 2/7/8 trace sessions.
+    fig6_duration_s:
+        Length of each Figure 6 accuracy session.
+    seed:
+        Seed for the trace sessions.
+    """
+    ensure_positive(trace_duration_s, "trace_duration_s")
+    ensure_positive(fig6_duration_s, "fig6_duration_s")
+    survey = survey or run_survey(survey_config)
+
+    sections = [HEADER.format(version=__version__)]
+    sections.append(fig2.run(duration_s=trace_duration_s,
+                             seed=seed).format())
+    sections.append(fig3.run(survey).format())
+    sections.append(fig5.run().format())
+    sections.append(fig6.run(duration_s=fig6_duration_s,
+                             seed=seed + 2, repeats=30).format())
+    sections.append(fig7.run(duration_s=trace_duration_s,
+                             seed=seed).format())
+    sections.append(fig8.run(duration_s=trace_duration_s,
+                             seed=seed).format())
+    sections.append(fig9.run(survey).format())
+    sections.append(fig10.run(survey).format())
+    sections.append(fig11.run(survey).format())
+    sections.append(table1.run(survey).format())
+    return "\n\n".join(sections) + "\n"

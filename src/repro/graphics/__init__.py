@@ -1,0 +1,39 @@
+"""Android-style graphics stack model.
+
+This package reproduces the display path of Figure 1 in the paper:
+applications render into :class:`~repro.graphics.surface.Surface` objects,
+the :class:`~repro.graphics.compositor.SurfaceManager` (SurfaceFlinger's
+role) combines them at V-Sync into the
+:class:`~repro.graphics.framebuffer.Framebuffer`, and the display hardware
+scans the framebuffer out at the panel refresh rate.
+
+Pixels are real: surfaces and the framebuffer are numpy ``uint8`` arrays,
+so the content-rate meter in :mod:`repro.core` compares actual bytes, not
+a flag saying "the app claims this frame changed".
+"""
+
+from .compositor import SurfaceManager
+from .framebuffer import Framebuffer
+from .renderers import (
+    FullScreenVideoRenderer,
+    MovingSpritesRenderer,
+    Renderer,
+    SceneChangeRenderer,
+    ScrollRenderer,
+    SmallRegionRenderer,
+    StaticRenderer,
+)
+from .surface import Surface
+
+__all__ = [
+    "Framebuffer",
+    "FullScreenVideoRenderer",
+    "MovingSpritesRenderer",
+    "Renderer",
+    "SceneChangeRenderer",
+    "ScrollRenderer",
+    "SmallRegionRenderer",
+    "StaticRenderer",
+    "Surface",
+    "SurfaceManager",
+]

@@ -1,0 +1,107 @@
+"""Monkey-style touch-script generation.
+
+Android's Monkey tool fires pseudo-random UI events at an application;
+the paper replays one Monkey script per app for every measurement.  The
+generator here produces the same thing in simulation: a seeded random
+sequence of taps and scroll gestures with configurable density, fully
+determined by ``(config, seed)`` so the identical script can drive a
+fixed-60 Hz baseline run and a governed run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import ensure_non_negative, ensure_positive
+from .touch import TouchEvent, TouchKind, TouchScript
+
+
+@dataclass(frozen=True)
+class MonkeyConfig:
+    """Shape of a Monkey run.
+
+    Parameters
+    ----------
+    duration_s:
+        Length of the script.
+    events_per_s:
+        Mean touch-event rate (exponential inter-arrival times).  Real
+        interactive use is on the order of 0.1-0.5 events/s; Monkey can
+        be cranked far higher.
+    scroll_fraction:
+        Probability that an event is a scroll gesture rather than a tap.
+    scroll_duration_s:
+        Mean scroll-gesture length (exponentially distributed, floored
+        at 0.1 s).
+    min_gap_s:
+        Minimum spacing between consecutive events (debounce — two
+        events closer than a human finger can move are collapsed).
+    warmup_s:
+        Quiet period at the start of the script before the first event,
+        letting the app settle to its idle behaviour first.
+    """
+
+    duration_s: float = 180.0
+    events_per_s: float = 0.25
+    scroll_fraction: float = 0.3
+    scroll_duration_s: float = 0.6
+    min_gap_s: float = 0.5
+    warmup_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.duration_s, "duration_s")
+        ensure_non_negative(self.events_per_s, "events_per_s")
+        if not 0.0 <= self.scroll_fraction <= 1.0:
+            raise ConfigurationError(
+                f"scroll_fraction must be in [0, 1], got "
+                f"{self.scroll_fraction}")
+        ensure_positive(self.scroll_duration_s, "scroll_duration_s")
+        ensure_non_negative(self.min_gap_s, "min_gap_s")
+        ensure_non_negative(self.warmup_s, "warmup_s")
+
+
+class MonkeyScriptGenerator:
+    """Deterministic Monkey-script generator.
+
+    The same ``(config, seed)`` pair always yields the same script;
+    different seeds are the paper's "repeated the same experiment"
+    replications.
+    """
+
+    def __init__(self, config: MonkeyConfig) -> None:
+        self.config = config
+
+    def generate(self, seed: int) -> TouchScript:
+        """Produce the script for one session."""
+        cfg = self.config
+        if cfg.events_per_s == 0.0:
+            return TouchScript([])
+        rng = np.random.default_rng(seed)
+        events: List[TouchEvent] = []
+        t = cfg.warmup_s
+        while True:
+            gap = float(rng.exponential(1.0 / cfg.events_per_s))
+            t += max(gap, cfg.min_gap_s)
+            if t >= cfg.duration_s:
+                break
+            if rng.random() < cfg.scroll_fraction:
+                duration = max(0.1, float(
+                    rng.exponential(cfg.scroll_duration_s)))
+                # A scroll must end inside the session.
+                duration = min(duration, cfg.duration_s - t)
+                if duration <= 0:
+                    break
+                events.append(TouchEvent(time=t, kind=TouchKind.SCROLL,
+                                         duration_s=duration))
+                t += duration
+            else:
+                events.append(TouchEvent(time=t, kind=TouchKind.TAP))
+        return TouchScript(events)
+
+    def generate_many(self, seeds: "list[int]") -> "list[TouchScript]":
+        """One script per seed (experiment replications)."""
+        return [self.generate(seed) for seed in seeds]

@@ -1,0 +1,147 @@
+"""Touch events, scripts, and their replay on the simulation clock.
+
+A :class:`TouchScript` is an immutable, time-ordered sequence of
+:class:`TouchEvent` objects.  Because scripts are generated *before* a
+session starts and replayed on absolute timestamps, the exact same user
+behaviour hits every governor configuration — the controlled comparison
+the paper's methodology relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.engine import Simulator
+
+
+class TouchKind(enum.Enum):
+    """The two interaction shapes the workload models distinguish.
+
+    A *tap* is an instantaneous event (button press, game move); a
+    *scroll* is a drag gesture that keeps generating content for its
+    whole duration (list flinging).
+    """
+
+    TAP = "tap"
+    SCROLL = "scroll"
+
+
+@dataclass(frozen=True)
+class TouchEvent:
+    """One touch: when it lands, what kind, and how long the gesture is.
+
+    ``duration_s`` is zero for taps and the drag length for scrolls.
+    """
+
+    time: float
+    kind: TouchKind = TouchKind.TAP
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(
+                f"touch time must be >= 0, got {self.time}")
+        if self.duration_s < 0:
+            raise ConfigurationError(
+                f"touch duration must be >= 0, got {self.duration_s}")
+        if self.kind is TouchKind.TAP and self.duration_s != 0.0:
+            raise ConfigurationError("a tap has zero duration")
+
+
+class TouchScript:
+    """An ordered, immutable sequence of touch events."""
+
+    def __init__(self, events: Iterable[TouchEvent]) -> None:
+        ordered = sorted(events, key=lambda e: e.time)
+        self._events: Tuple[TouchEvent, ...] = tuple(ordered)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> TouchEvent:
+        return self._events[index]
+
+    @property
+    def events(self) -> Tuple[TouchEvent, ...]:
+        """All events in time order."""
+        return self._events
+
+    @property
+    def times(self) -> Tuple[float, ...]:
+        """Event timestamps in order."""
+        return tuple(e.time for e in self._events)
+
+    def within(self, start: float, end: float) -> "TouchScript":
+        """Events with ``start <= time < end``."""
+        return TouchScript(e for e in self._events
+                           if start <= e.time < end)
+
+    def taps(self) -> "TouchScript":
+        """Only the tap events."""
+        return TouchScript(e for e in self._events
+                           if e.kind is TouchKind.TAP)
+
+    def scrolls(self) -> "TouchScript":
+        """Only the scroll events."""
+        return TouchScript(e for e in self._events
+                           if e.kind is TouchKind.SCROLL)
+
+
+#: Callback receiving each replayed event.
+TouchListener = Callable[[TouchEvent], None]
+
+
+class TouchSource:
+    """Replays a :class:`TouchScript` on the simulation clock.
+
+    Each event is scheduled at its absolute timestamp; every registered
+    listener receives it.  Listeners added after :meth:`start` miss
+    nothing as long as they are added before the first event fires.
+    """
+
+    def __init__(self, sim: Simulator, script: TouchScript) -> None:
+        self._sim = sim
+        self.script = script
+        self._listeners: List[TouchListener] = []
+        self._delivered = 0
+        self._started = False
+
+    def add_listener(self, listener: TouchListener) -> None:
+        """Register a recipient for every touch event."""
+        self._listeners.append(listener)
+
+    @property
+    def delivered(self) -> int:
+        """Events delivered so far."""
+        return self._delivered
+
+    def start(self) -> None:
+        """Schedule every scripted event on the simulator."""
+        if self._started:
+            raise ConfigurationError("touch source already started")
+        self._started = True
+        for event in self.script:
+            self._sim.call_at(event.time, self._make_firer(event),
+                              name="touch")
+
+    def _make_firer(self, event: TouchEvent):
+        def fire(sim: Simulator) -> None:
+            del sim
+            self._delivered += 1
+            for listener in self._listeners:
+                listener(event)
+        return fire
+
+
+def merge_scripts(scripts: Sequence[TouchScript]) -> TouchScript:
+    """Combine several scripts into one time-ordered script."""
+    events: List[TouchEvent] = []
+    for script in scripts:
+        events.extend(script.events)
+    return TouchScript(events)

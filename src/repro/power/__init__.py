@@ -1,0 +1,41 @@
+"""Power substrate: the simulated Monsoon power meter.
+
+The paper measures whole-device power with a Monsoon meter at 50 %
+brightness.  Offline we model device power as a sum of components, each
+tied to an observable the simulation produces exactly — refresh rate,
+frame-update count, application render count — with coefficients
+calibrated so the *differences* between a fixed-60 Hz run and a
+governed run land on the paper's reported scale (see
+:mod:`repro.power.calibration` for the derivation).
+"""
+
+from .battery import (
+    BatterySpec,
+    GALAXY_S3_BATTERY,
+    minutes_gained,
+    screen_on_hours,
+)
+from .calibration import (
+    PowerCalibration,
+    galaxy_s3_calibration,
+    lcd_phone_calibration,
+)
+from .meter import MonsoonMeter
+from .oled import OledEmissionTracker, OledModel
+from .model import PowerBreakdown, PowerModel, PowerReport
+
+__all__ = [
+    "BatterySpec",
+    "GALAXY_S3_BATTERY",
+    "MonsoonMeter",
+    "OledEmissionTracker",
+    "OledModel",
+    "PowerBreakdown",
+    "PowerCalibration",
+    "PowerModel",
+    "PowerReport",
+    "galaxy_s3_calibration",
+    "lcd_phone_calibration",
+    "minutes_gained",
+    "screen_on_hours",
+]

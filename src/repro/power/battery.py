@@ -1,0 +1,79 @@
+"""Battery-life projection: turning milliwatts into minutes.
+
+The paper reports savings in milliwatts; what a user feels is screen-on
+time.  This module converts mean device power into battery life for a
+given cell (the Galaxy S3 LTE ships a 2100 mAh / 3.8 V pack) and
+expresses a saving as minutes of screen-on time gained — the headline a
+product team would quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import ensure_positive
+
+
+@dataclass(frozen=True)
+class BatterySpec:
+    """A battery pack.
+
+    Parameters
+    ----------
+    capacity_mah:
+        Rated capacity in milliamp-hours.
+    nominal_voltage_v:
+        Nominal cell voltage (energy = capacity x voltage).
+    usable_fraction:
+        Fraction of rated energy actually deliverable before shutdown
+        (real devices cut off above 0 % and lose some to converter
+        inefficiency).
+    """
+
+    capacity_mah: float = 2100.0
+    nominal_voltage_v: float = 3.8
+    usable_fraction: float = 0.92
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.capacity_mah, "capacity_mah")
+        ensure_positive(self.nominal_voltage_v, "nominal_voltage_v")
+        if not 0.0 < self.usable_fraction <= 1.0:
+            raise ConfigurationError(
+                f"usable_fraction must be in (0, 1], got "
+                f"{self.usable_fraction}")
+
+    @property
+    def usable_energy_mj(self) -> float:
+        """Deliverable energy in millijoules.
+
+        mAh x V = mWh; x 3600 = mJ (1 mWh = 3.6 J = 3600 mJ).
+        """
+        return (self.capacity_mah * self.nominal_voltage_v * 3600.0 *
+                self.usable_fraction)
+
+
+#: The paper's device pack.
+GALAXY_S3_BATTERY = BatterySpec(capacity_mah=2100.0,
+                                nominal_voltage_v=3.8,
+                                usable_fraction=0.92)
+
+
+def screen_on_hours(mean_power_mw: float,
+                    battery: BatterySpec = GALAXY_S3_BATTERY) -> float:
+    """Hours of screen-on time at a constant mean power draw."""
+    ensure_positive(mean_power_mw, "mean_power_mw")
+    return battery.usable_energy_mj / mean_power_mw / 3600.0
+
+
+def minutes_gained(baseline_power_mw: float, governed_power_mw: float,
+                   battery: BatterySpec = GALAXY_S3_BATTERY) -> float:
+    """Screen-on minutes gained by a power saving.
+
+    Negative if the "saving" is actually a regression.
+    """
+    ensure_positive(baseline_power_mw, "baseline_power_mw")
+    ensure_positive(governed_power_mw, "governed_power_mw")
+    gained_h = (screen_on_hours(governed_power_mw, battery) -
+                screen_on_hours(baseline_power_mw, battery))
+    return 60.0 * gained_h

@@ -1,0 +1,105 @@
+"""Power-model calibration for the Galaxy S3 LTE.
+
+The model charges four components:
+
+``base``
+    Everything independent of display activity: backlight at 50 %
+    brightness, SoC idle, radios, plus the running app's CPU draw
+    (``AppProfile.cpu_base_mw``).
+``panel``
+    Display scan-out and the memory traffic of reading the framebuffer
+    each refresh — linear in the refresh rate.
+``compose``
+    Surface Manager work per frame update (composition + framebuffer
+    write) — one fixed energy per composition.
+``render``
+    The application's drawing work per posted frame — per-app energy
+    (games re-draw a full 3D scene; a feed app invalidates a view).
+
+Calibration targets (reconstructed from the paper, which lost trailing
+zeros in OCR; see DESIGN.md Section 3):
+
+* Facebook, section-based control: ~150 mW saved.  Facebook idles with
+  a near-zero frame rate, so its saving is almost purely the panel
+  component across 60 Hz -> 20 Hz: ``k_panel * 40 approx 140 mW`` gives
+  ``k_panel = 3.5 mW/Hz``.
+* Jelly Splash, section-based control: ~500 mW saved.  Its 60 fps
+  free-running loop drops to ~20 fps, so the saving is panel (140 mW)
+  plus ~40 fps of composition and render work:
+  ``40 * (E_compose + E_render) approx 360 mW-s/s`` with
+  ``E_compose = 1.2 mJ`` and ``E_render = 4.5 mJ`` (game-class) lands
+  within 10 %.
+* Whole-device magnitudes: general apps total 600-850 mW, games
+  1000-1400 mW at fixed 60 Hz (consistent with Carroll & Heiser's
+  smartphone breakdowns and the paper's percentage savings:
+  ~120 mW / ~18.6 % general, ~290 mW / ~27 % games).
+
+Absolute numbers are calibration, not measurement.  Every experiment
+reports the *shape* (ordering, ratios, crossovers) as the reproduction
+target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import ensure_non_negative
+
+
+@dataclass(frozen=True)
+class PowerCalibration:
+    """Coefficients of the component power model.
+
+    Parameters
+    ----------
+    device_base_mw:
+        Screen-on, app-independent device power (backlight at 50 %
+        brightness + SoC idle + radios).
+    panel_mw_per_hz:
+        Panel scan + framebuffer read traffic per hertz of refresh.
+    compose_mj_per_frame:
+        Energy per Surface Manager composition (frame update).
+    meter_overhead_mj_per_frame:
+        Energy the proposed system itself spends per frame update on
+        the grid comparison and double-buffer copy.  The paper measures
+        this as "almost no computational overhead" at the 9K operating
+        point; it is charged to governed runs only, keeping the
+        comparison honest.
+    """
+
+    device_base_mw: float = 430.0
+    panel_mw_per_hz: float = 3.5
+    compose_mj_per_frame: float = 1.2
+    meter_overhead_mj_per_frame: float = 0.05
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.device_base_mw, "device_base_mw")
+        ensure_non_negative(self.panel_mw_per_hz, "panel_mw_per_hz")
+        ensure_non_negative(self.compose_mj_per_frame,
+                            "compose_mj_per_frame")
+        ensure_non_negative(self.meter_overhead_mj_per_frame,
+                            "meter_overhead_mj_per_frame")
+
+
+def galaxy_s3_calibration() -> PowerCalibration:
+    """The default calibration described in this module's docstring."""
+    return PowerCalibration()
+
+
+def lcd_phone_calibration() -> PowerCalibration:
+    """An LCD-device variant (extension).
+
+    LCD phones of the same generation differ from the AMOLED S3 in two
+    ways that matter here: the backlight is a large *constant* draw
+    (content-independent — folded into ``device_base_mw``), and the
+    per-hertz scan cost is somewhat lower (no per-pixel emission driver
+    work scaling with refresh).  Net effect: the same governor saves
+    fewer milliwatts on LCD (smaller rate-dependent slice of a larger
+    fixed pie) — a known deployment caveat worth modelling.
+    """
+    return PowerCalibration(
+        device_base_mw=620.0,     # backlight-dominated floor
+        panel_mw_per_hz=2.4,
+        compose_mj_per_frame=1.2,
+        meter_overhead_mj_per_frame=0.05,
+    )

@@ -1,0 +1,198 @@
+"""Component power model evaluated over session traces.
+
+The model is deliberately *post hoc*: a session records exact traces of
+the refresh rate (a step series), frame updates, and application render
+passes, and the model turns those into energy.  Keeping power out of
+the simulation loop means one session can be priced under several
+calibrations (ablations) without re-running it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..apps.profile import AppProfile
+from ..errors import ConfigurationError
+from ..sim.tracing import EventLog, StepSeries
+from ..units import ensure_positive
+from .calibration import PowerCalibration
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Energy per component over a window, in millijoules.
+
+    ``emission_mj`` is the optional content-dependent OLED emission
+    component (zero unless the session tracked it; see
+    :mod:`repro.power.oled`).
+    """
+
+    base_mj: float
+    panel_mj: float
+    compose_mj: float
+    render_mj: float
+    meter_mj: float
+    emission_mj: float = 0.0
+
+    @property
+    def total_mj(self) -> float:
+        """Total energy across all components."""
+        return (self.base_mj + self.panel_mj + self.compose_mj +
+                self.render_mj + self.meter_mj + self.emission_mj)
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power summary for one session."""
+
+    duration_s: float
+    breakdown: PowerBreakdown
+
+    @property
+    def energy_mj(self) -> float:
+        """Total session energy in millijoules."""
+        return self.breakdown.total_mj
+
+    @property
+    def mean_power_mw(self) -> float:
+        """Session-average power in milliwatts."""
+        return self.energy_mj / self.duration_s
+
+    def component_power_mw(self) -> "dict[str, float]":
+        """Average power per component, in milliwatts."""
+        d = self.duration_s
+        b = self.breakdown
+        return {
+            "base": b.base_mj / d,
+            "panel": b.panel_mj / d,
+            "compose": b.compose_mj / d,
+            "render": b.render_mj / d,
+            "meter": b.meter_mj / d,
+            "emission": b.emission_mj / d,
+        }
+
+
+class PowerModel:
+    """Prices session traces under a calibration.
+
+    Parameters
+    ----------
+    calibration:
+        Component coefficients (defaults to the Galaxy S3 values).
+    """
+
+    def __init__(self,
+                 calibration: Optional[PowerCalibration] = None) -> None:
+        self.calibration = calibration or PowerCalibration()
+
+    # ------------------------------------------------------------------
+    # Whole-session energy
+    # ------------------------------------------------------------------
+    def evaluate(self, profile: AppProfile, rate_history: StepSeries,
+                 compositions: EventLog, renders: EventLog,
+                 duration_s: float,
+                 metering_active: bool = False,
+                 emission_history: Optional[StepSeries] = None
+                 ) -> PowerReport:
+        """Energy of one session.
+
+        Parameters
+        ----------
+        profile:
+            The running application (supplies its CPU and render cost).
+        rate_history:
+            Panel refresh rate over time.
+        compositions:
+            Frame-update timestamps (Surface Manager work).
+        renders:
+            Application render-pass timestamps.
+        duration_s:
+            Session length.
+        metering_active:
+            True for governed runs: charges the proposed system's own
+            per-frame metering overhead.
+        emission_history:
+            Optional OLED emission power trace (content-dependent
+            component; see :class:`~repro.power.oled.
+            OledEmissionTracker`).
+        """
+        ensure_positive(duration_s, "duration_s")
+        return self.evaluate_window(
+            profile, rate_history, compositions, renders,
+            0.0, duration_s, metering_active=metering_active,
+            emission_history=emission_history)
+
+    def evaluate_window(self, profile: AppProfile,
+                        rate_history: StepSeries,
+                        compositions: EventLog, renders: EventLog,
+                        start_s: float, end_s: float,
+                        metering_active: bool = False,
+                        emission_history: Optional[StepSeries] = None
+                        ) -> PowerReport:
+        """Energy over the window ``[start_s, end_s]``.
+
+        Used by multi-app scenarios, where each segment runs a
+        different application (hence a different CPU/render profile)
+        against the shared display traces.
+        """
+        if end_s <= start_s:
+            raise ConfigurationError(
+                f"window [{start_s}, {end_s}] must have positive span")
+        cal = self.calibration
+        span = end_s - start_s
+        base_mw = cal.device_base_mw + profile.cpu_base_mw
+        frames = compositions.count_in(start_s, end_s)
+        breakdown = PowerBreakdown(
+            base_mj=base_mw * span,
+            panel_mj=cal.panel_mw_per_hz *
+            rate_history.integrate(start_s, end_s),
+            compose_mj=cal.compose_mj_per_frame * frames,
+            render_mj=profile.render_cost_mj *
+            renders.count_in(start_s, end_s),
+            meter_mj=(cal.meter_overhead_mj_per_frame * frames
+                      if metering_active else 0.0),
+            emission_mj=(emission_history.integrate(start_s, end_s)
+                         if emission_history is not None else 0.0),
+        )
+        return PowerReport(duration_s=span, breakdown=breakdown)
+
+    # ------------------------------------------------------------------
+    # Power trace (Figure 8 shape)
+    # ------------------------------------------------------------------
+    def power_trace(self, profile: AppProfile, rate_history: StepSeries,
+                    compositions: EventLog, renders: EventLog,
+                    duration_s: float, bin_width_s: float = 1.0,
+                    metering_active: bool = False,
+                    emission_history: Optional[StepSeries] = None
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean power per time bin: ``(bin_centers, power_mw)``."""
+        ensure_positive(duration_s, "duration_s")
+        ensure_positive(bin_width_s, "bin_width_s")
+        if bin_width_s > duration_s:
+            raise ConfigurationError(
+                "bin_width_s must not exceed duration_s")
+        cal = self.calibration
+        base_mw = cal.device_base_mw + profile.cpu_base_mw
+        edges = np.arange(0.0, duration_s + bin_width_s * 1e-9,
+                          bin_width_s)
+        if edges[-1] < duration_s:
+            edges = np.append(edges, duration_s)
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        power = np.empty(len(centers))
+        per_frame_mj = cal.compose_mj_per_frame + (
+            cal.meter_overhead_mj_per_frame if metering_active else 0.0)
+        for i in range(len(centers)):
+            t0, t1 = edges[i], edges[i + 1]
+            width = t1 - t0
+            panel_mw = cal.panel_mw_per_hz * rate_history.mean(t0, t1)
+            compose_mw = per_frame_mj * compositions.count_in(t0, t1) / width
+            render_mw = (profile.render_cost_mj *
+                         renders.count_in(t0, t1) / width)
+            emission_mw = (emission_history.mean(t0, t1)
+                           if emission_history is not None else 0.0)
+            power[i] = (base_mw + panel_mw + compose_mw + render_mw +
+                        emission_mw)
+        return centers, power

@@ -1,0 +1,20 @@
+"""Discrete-event simulation substrate.
+
+This package provides the event-driven clock every other subsystem hangs
+off: the :class:`~repro.sim.engine.Simulator` core, periodic-task helpers,
+and trace-recording utilities used to collect the time series that the
+paper's figures are built from.
+"""
+
+from .engine import EventHandle, PeriodicTask, Simulator
+from .tracing import EventLog, StepSeries, TimeSeries, TraceSet
+
+__all__ = [
+    "EventHandle",
+    "EventLog",
+    "PeriodicTask",
+    "Simulator",
+    "StepSeries",
+    "TimeSeries",
+    "TraceSet",
+]

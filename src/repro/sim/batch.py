@@ -1,0 +1,72 @@
+"""Parallel batch execution of sessions.
+
+The 30-app survey is embarrassingly parallel (every session is an
+independent simulation), and multi-seed replication multiplies it
+further.  This module fans session configurations out over a process
+pool and returns *summaries* — full :class:`SessionResult` objects hold
+live simulator state (listeners, closures) that does not cross process
+boundaries, and batch workflows only need the aggregate numbers anyway.
+
+Summaries are exactly :func:`repro.analysis.export.session_summary_dict`
+plus the traces the figures aggregate (binned rates and power), all
+plain numpy/python data.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.export import session_summary_dict
+from ..errors import ConfigurationError
+from .session import SessionConfig, run_session
+
+
+def run_session_summary(config: SessionConfig) -> Dict:
+    """Run one session and return its plain-data summary.
+
+    Module-level (picklable) so it can be a multiprocessing worker.
+    """
+    result = run_session(config)
+    summary = session_summary_dict(result)
+    centers, power = result.power_trace(bin_width_s=1.0)
+    _, content = result.meaningful_compositions.binned_rate(
+        0.0, result.duration_s, 1.0)
+    summary["trace"] = {
+        "time_s": centers.tolist(),
+        "power_mw": power.tolist(),
+        "content_fps": content.tolist(),
+    }
+    return summary
+
+
+def run_batch(configs: Sequence[SessionConfig],
+              processes: Optional[int] = None) -> List[Dict]:
+    """Run many sessions, in parallel when it pays off.
+
+    Parameters
+    ----------
+    configs:
+        The sessions to run; results come back in the same order.
+    processes:
+        Worker count.  ``None`` picks ``min(cpu_count, len(configs))``;
+        1 (or a single config) runs in-process, which is also the
+        deterministic fallback on platforms without fork.
+    """
+    configs = list(configs)
+    if not configs:
+        raise ConfigurationError("run_batch needs at least one config")
+    if processes is None:
+        processes = min(multiprocessing.cpu_count(), len(configs))
+    if processes < 1:
+        raise ConfigurationError(f"processes must be >= 1, got "
+                                 f"{processes}")
+    if processes == 1 or len(configs) == 1:
+        return [run_session_summary(config) for config in configs]
+    try:
+        with multiprocessing.Pool(processes) as pool:
+            return pool.map(run_session_summary, configs)
+    except (OSError, ValueError):
+        # Pool creation can fail in constrained sandboxes; the batch
+        # still completes, just serially.
+        return [run_session_summary(config) for config in configs]

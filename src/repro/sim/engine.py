@@ -1,0 +1,268 @@
+"""Event-driven simulation engine.
+
+The engine is a classic priority-queue scheduler: callbacks are scheduled
+at absolute timestamps and fired in time order.  Ties are broken by
+insertion order, which makes runs fully deterministic — an essential
+property here, because every experiment in the paper is a comparison
+between two runs of *the same* workload script with different display
+governors.
+
+Design notes
+------------
+* Timestamps are ``float`` seconds.  The engine never invents time: it
+  jumps from event to event, so a 180-second session with a mostly idle
+  app costs almost nothing to simulate.
+* Cancellation is lazy (a cancelled handle stays in the heap and is
+  skipped when popped).  This is the standard approach and keeps
+  :meth:`Simulator.cancel` O(1); the display panel uses it heavily when a
+  refresh-rate switch invalidates the next scheduled V-Sync.
+* Callbacks receive the simulator so they can read ``sim.now`` and
+  schedule follow-up events without closing over the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..units import ensure_non_negative, ensure_positive
+
+#: Signature of every scheduled callback.
+Callback = Callable[["Simulator"], None]
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires.
+
+    Instances are returned by :meth:`Simulator.call_at` /
+    :meth:`Simulator.call_after`; they are not constructed directly.
+    """
+
+    __slots__ = ("time", "name", "_callback", "_cancelled", "_fired")
+
+    def __init__(self, time: float, callback: Callback, name: str) -> None:
+        self.time = time
+        self.name = name
+        self._callback = callback
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`Simulator.cancel` has been called on this."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still waiting in the queue."""
+        return not (self._cancelled or self._fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else (
+            "fired" if self._fired else "pending")
+        return f"<EventHandle {self.name!r} t={self.time:.6f} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> _ = sim.call_after(1.0, lambda s: seen.append(s.now))
+    >>> sim.run_until(2.0)
+    >>> seen
+    [1.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = ensure_non_negative(start_time, "start_time")
+        self._queue: List[Tuple[float, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks fired so far (cancelled events excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (cancelled ones included until
+        they are popped; use for rough monitoring only)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, callback: Callback,
+                name: str = "event") -> EventHandle:
+        """Schedule ``callback`` at absolute ``time``.
+
+        Scheduling exactly at ``now`` is allowed (the event fires during
+        the current :meth:`run_until` pass, after events already queued
+        for the same instant); scheduling in the past is an error.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule {name!r} at t={time:.6f}, "
+                f"which is before now={self._now:.6f}")
+        handle = EventHandle(time, callback, name)
+        heapq.heappush(self._queue, (time, next(self._sequence), handle))
+        return handle
+
+    def call_after(self, delay: float, callback: Callback,
+                   name: str = "event") -> EventHandle:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        ensure_non_negative(delay, "delay")
+        return self.call_at(self._now + delay, callback, name)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event.  Cancelling a fired or already
+        cancelled event is a silent no-op."""
+        handle._cancelled = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_until(self, end_time: float) -> None:
+        """Fire events in order until the queue is exhausted or the next
+        event lies strictly after ``end_time``; then set ``now`` to
+        ``end_time``.
+
+        The final clock jump means integrators (e.g. the power meter)
+        can rely on ``sim.now == end_time`` when the session finishes.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time:.6f} is before now {self._now:.6f}")
+        if self._running:
+            raise SimulationError("run_until called re-entrantly")
+        self._running = True
+        try:
+            while self._queue and self._queue[0][0] <= end_time:
+                time, _, handle = heapq.heappop(self._queue)
+                if handle._cancelled:
+                    continue
+                self._now = time
+                handle._fired = True
+                self._processed += 1
+                handle._callback(self)
+            self._now = end_time
+        finally:
+            self._running = False
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Fire events until the queue empties.
+
+        ``max_events`` bounds runaway self-rescheduling loops (a
+        periodic task with no stop condition would otherwise never
+        terminate).
+        """
+        ensure_positive(max_events, "max_events")
+        if self._running:
+            raise SimulationError("run called re-entrantly")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                time, _, handle = heapq.heappop(self._queue)
+                if handle._cancelled:
+                    continue
+                if fired >= max_events:
+                    raise SimulationError(
+                        f"run exceeded max_events={max_events}")
+                self._now = time
+                handle._fired = True
+                self._processed += 1
+                fired += 1
+                handle._callback(self)
+        finally:
+            self._running = False
+
+
+class PeriodicTask:
+    """A callback fired at a fixed period until stopped.
+
+    The display governor and the power sampler are periodic; this helper
+    owns the reschedule-on-fire loop so they do not repeat it.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to schedule on.
+    period:
+        Seconds between invocations.
+    callback:
+        Called with the simulator at each tick.
+    start_delay:
+        Delay before the first invocation; defaults to one full period.
+    name:
+        Event-name used for the scheduled handles (debugging aid).
+    """
+
+    def __init__(self, sim: Simulator, period: float, callback: Callback,
+                 start_delay: Optional[float] = None,
+                 name: str = "periodic") -> None:
+        self._sim = sim
+        self._period = ensure_positive(period, "period")
+        self._callback = callback
+        self._name = name
+        self._stopped = False
+        self._ticks = 0
+        first = period if start_delay is None else ensure_non_negative(
+            start_delay, "start_delay")
+        self._handle: Optional[EventHandle] = sim.call_after(
+            first, self._fire, name=name)
+
+    @property
+    def period(self) -> float:
+        """Current period in seconds."""
+        return self._period
+
+    @property
+    def ticks(self) -> int:
+        """Number of times the callback has fired."""
+        return self._ticks
+
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` has been called."""
+        return self._stopped
+
+    def set_period(self, period: float) -> None:
+        """Change the period; takes effect from the *next* reschedule."""
+        self._period = ensure_positive(period, "period")
+
+    def stop(self) -> None:
+        """Cancel the pending tick and fire no more."""
+        self._stopped = True
+        if self._handle is not None:
+            self._sim.cancel(self._handle)
+            self._handle = None
+
+    def _fire(self, sim: Simulator) -> None:
+        if self._stopped:
+            return
+        self._ticks += 1
+        self._callback(sim)
+        if not self._stopped:
+            self._handle = sim.call_after(
+                self._period, self._fire, name=self._name)

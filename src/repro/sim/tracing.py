@@ -1,0 +1,285 @@
+"""Trace containers for simulation output.
+
+Three shapes of data come out of a session, matching the three kinds of
+plot in the paper:
+
+* :class:`EventLog` — bare timestamps (frame submissions, content
+  changes, touches).  Figure 2/3-style *rates* are windowed counts over
+  an event log.
+* :class:`StepSeries` — piecewise-constant signals (the panel refresh
+  rate, instantaneous power draw).  Figure 7's refresh-rate trace and
+  the energy integral both come from here.
+* :class:`TimeSeries` — irregularly sampled values (the meter's
+  content-rate estimates).
+
+All three convert to numpy arrays for analysis, and all enforce
+monotonically non-decreasing timestamps, which the simulator guarantees
+by construction.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..units import ensure_non_negative, ensure_positive
+
+
+class EventLog:
+    """An append-only log of event timestamps (seconds)."""
+
+    def __init__(self, name: str = "events") -> None:
+        self.name = name
+        self._times: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time: float) -> None:
+        """Record one event at ``time``; times must not decrease."""
+        if self._times and time < self._times[-1]:
+            raise SimulationError(
+                f"event log {self.name!r}: time went backwards "
+                f"({time:.6f} < {self._times[-1]:.6f})")
+        self._times.append(time)
+
+    @property
+    def times(self) -> np.ndarray:
+        """All event timestamps as a float array."""
+        return np.asarray(self._times, dtype=float)
+
+    def count_in(self, start: float, end: float) -> int:
+        """Number of events with ``start < t <= end``.
+
+        The half-open convention means adjacent windows partition the
+        events exactly — summing windowed counts equals the total.
+        """
+        if end < start:
+            raise SimulationError("count_in: end before start")
+        lo = bisect.bisect_right(self._times, start)
+        hi = bisect.bisect_right(self._times, end)
+        return hi - lo
+
+    def rate_in(self, start: float, end: float) -> float:
+        """Mean event rate (events/second) over ``(start, end]``."""
+        span = end - start
+        if span <= 0:
+            raise SimulationError("rate_in: window must have positive span")
+        return self.count_in(start, end) / span
+
+    def binned_rate(self, start: float, end: float,
+                    bin_width: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Event rate per fixed-width bin — the frame-rate traces of
+        Figure 2 use 1-second bins.
+
+        Returns ``(bin_centers, rates)``.  A trailing partial bin is
+        normalised by its actual width.
+        """
+        ensure_positive(bin_width, "bin_width")
+        if end <= start:
+            raise SimulationError("binned_rate: end must be after start")
+        edges = np.arange(start, end + bin_width * 1e-9, bin_width)
+        if edges[-1] < end:
+            edges = np.append(edges, end)
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        widths = np.diff(edges)
+        counts = np.array([
+            self.count_in(edges[i], edges[i + 1])
+            for i in range(len(edges) - 1)
+        ], dtype=float)
+        return centers, counts / widths
+
+
+class StepSeries:
+    """A piecewise-constant signal defined by ``set`` transitions.
+
+    The value holds from its set-time until the next transition.  Used
+    for the refresh rate and for instantaneous power, so it supports
+    exact integration (energy = integral of power).
+    """
+
+    def __init__(self, name: str = "step", initial: float = 0.0,
+                 start_time: float = 0.0) -> None:
+        self.name = name
+        self._times: List[float] = [ensure_non_negative(start_time,
+                                                        "start_time")]
+        self._values: List[float] = [float(initial)]
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def set(self, time: float, value: float) -> None:
+        """Record a transition to ``value`` at ``time``.
+
+        Setting at an existing timestamp overwrites that transition
+        (last write wins), which is what happens when a governor makes
+        two decisions in the same instant.
+        """
+        last = self._times[-1]
+        if time < last:
+            raise SimulationError(
+                f"step series {self.name!r}: time went backwards "
+                f"({time:.6f} < {last:.6f})")
+        if time == last:
+            self._values[-1] = float(value)
+        else:
+            self._times.append(time)
+            self._values.append(float(value))
+
+    def value_at(self, time: float) -> float:
+        """Value of the signal at ``time`` (>= the series start)."""
+        if time < self._times[0]:
+            raise SimulationError(
+                f"step series {self.name!r}: query at {time:.6f} precedes "
+                f"series start {self._times[0]:.6f}")
+        idx = bisect.bisect_right(self._times, time) - 1
+        return self._values[idx]
+
+    @property
+    def current(self) -> float:
+        """Most recently set value."""
+        return self._values[-1]
+
+    @property
+    def transitions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` arrays of every transition."""
+        return (np.asarray(self._times, dtype=float),
+                np.asarray(self._values, dtype=float))
+
+    def integrate(self, start: float, end: float) -> float:
+        """Exact integral of the signal over ``[start, end]``.
+
+        For a power series in mW this yields energy in mJ.
+        """
+        if end < start:
+            raise SimulationError("integrate: end before start")
+        if start < self._times[0]:
+            raise SimulationError(
+                f"integrate: start {start:.6f} precedes series start")
+        total = 0.0
+        # Walk transitions that fall inside the window, accumulating
+        # value * duration for each constant segment.
+        idx = bisect.bisect_right(self._times, start) - 1
+        t = start
+        while t < end:
+            seg_value = self._values[idx]
+            next_t = (self._times[idx + 1]
+                      if idx + 1 < len(self._times) else end)
+            seg_end = min(next_t, end)
+            total += seg_value * (seg_end - t)
+            t = seg_end
+            idx += 1
+        return total
+
+    def mean(self, start: float, end: float) -> float:
+        """Time-weighted mean of the signal over ``[start, end]``."""
+        span = end - start
+        if span <= 0:
+            raise SimulationError("mean: window must have positive span")
+        return self.integrate(start, end) / span
+
+    def sample(self, times: Sequence[float]) -> np.ndarray:
+        """Signal value at each query time (for plotting on a grid)."""
+        return np.array([self.value_at(t) for t in times], dtype=float)
+
+
+class TimeSeries:
+    """Irregularly sampled ``(time, value)`` pairs."""
+
+    def __init__(self, name: str = "series") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time: float, value: float) -> None:
+        """Record one sample; times must not decrease."""
+        if self._times and time < self._times[-1]:
+            raise SimulationError(
+                f"time series {self.name!r}: time went backwards "
+                f"({time:.6f} < {self._times[-1]:.6f})")
+        self._times.append(time)
+        self._values.append(float(value))
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def mean(self) -> float:
+        """Plain (unweighted) mean of the samples."""
+        if not self._values:
+            raise SimulationError(
+                f"time series {self.name!r} is empty; no mean")
+        return float(np.mean(self._values))
+
+    def binned_mean(self, start: float, end: float,
+                    bin_width: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean sample value per fixed-width bin; empty bins yield NaN."""
+        ensure_positive(bin_width, "bin_width")
+        if end <= start:
+            raise SimulationError("binned_mean: end must be after start")
+        edges = np.arange(start, end + bin_width * 1e-9, bin_width)
+        if edges[-1] < end:
+            edges = np.append(edges, end)
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        times = self.times
+        values = self.values
+        means = np.full(len(centers), np.nan)
+        for i in range(len(centers)):
+            mask = (times > edges[i]) & (times <= edges[i + 1])
+            if mask.any():
+                means[i] = float(values[mask].mean())
+        return centers, means
+
+
+class TraceSet:
+    """A named bundle of traces collected during one session.
+
+    Acts as a small typed registry so session code can create traces
+    lazily and analysis code can enumerate what was recorded.
+    """
+
+    def __init__(self) -> None:
+        self._events: Dict[str, EventLog] = {}
+        self._steps: Dict[str, StepSeries] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def event_log(self, name: str) -> EventLog:
+        """Get or create the event log called ``name``."""
+        if name not in self._events:
+            self._events[name] = EventLog(name)
+        return self._events[name]
+
+    def step_series(self, name: str, initial: float = 0.0,
+                    start_time: float = 0.0) -> StepSeries:
+        """Get or create the step series called ``name``."""
+        if name not in self._steps:
+            self._steps[name] = StepSeries(name, initial, start_time)
+        return self._steps[name]
+
+    def time_series(self, name: str) -> TimeSeries:
+        """Get or create the time series called ``name``."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    @property
+    def event_log_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._events))
+
+    @property
+    def step_series_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._steps))
+
+    @property
+    def time_series_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._series))

@@ -1,0 +1,86 @@
+"""Unit conventions and validation helpers used across the package.
+
+The simulation uses a small, fixed set of units; every public API sticks
+to them so values can be passed between subsystems without conversion:
+
+========================  =======================================
+Quantity                  Unit
+========================  =======================================
+time                      seconds (``float``)
+refresh / frame rates     hertz == frames per second (``float``)
+power                     milliwatts (``float``)
+energy                    millijoules (``float``; mW x s)
+pixel coordinates         ``(row, col)`` integers, origin top-left
+========================  =======================================
+
+The helpers here raise :class:`~repro.errors.ConfigurationError` with a
+message naming the offending parameter, which keeps constructor
+validation in the rest of the package to one line per field.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import ConfigurationError
+
+#: Number of milliseconds in one second (readability constant).
+MS_PER_S = 1000.0
+
+#: The V-Sync deadline at 60 Hz, in seconds (the paper's 16.67 ms budget).
+VSYNC_DEADLINE_60HZ_S = 1.0 / 60.0
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number > 0, else raise."""
+    _ensure_finite_number(value, name)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def ensure_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number >= 0, else raise."""
+    _ensure_finite_number(value, name)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def ensure_fraction(value: float, name: str) -> float:
+    """Return ``value`` if it lies in the closed interval [0, 1]."""
+    _ensure_finite_number(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def ensure_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is an integer > 0, else raise."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be an int, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def ensure_non_negative_int(value: int, name: str) -> int:
+    """Return ``value`` if it is an integer >= 0, else raise."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be an int, got {value!r}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def hz_to_period(rate_hz: float) -> float:
+    """Convert a rate in hertz to its period in seconds."""
+    ensure_positive(rate_hz, "rate_hz")
+    return 1.0 / rate_hz
+
+
+def _ensure_finite_number(value: float, name: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")

@@ -1,0 +1,147 @@
+"""Tests for analysis: statistics, aggregation, table formatting."""
+
+import pytest
+
+from repro.analysis.aggregate import (
+    AppMeasurement,
+    summarize_categories,
+    summarize_method,
+)
+from repro.analysis.stats import (
+    mean_std,
+    percentile_of_apps,
+    savings_percent,
+)
+from repro.analysis.tables import format_table
+from repro.apps.profile import AppCategory
+from repro.errors import ConfigurationError
+
+
+class TestMeanStd:
+    def test_values(self):
+        ms = mean_std([1.0, 2.0, 3.0])
+        assert ms.mean == pytest.approx(2.0)
+        assert ms.std == pytest.approx(0.8165, rel=1e-3)
+        assert ms.n == 3
+
+    def test_single_value(self):
+        ms = mean_std([5.0])
+        assert ms.mean == 5.0
+        assert ms.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_std([])
+
+    def test_str_matches_paper_format(self):
+        assert str(mean_std([18.6, 18.6])) == "18.6 (±0.00)"
+
+
+class TestPercentileOfApps:
+    def test_upper_tail(self):
+        values = list(range(1, 11))  # 1..10
+        # "For 80 % of apps the value is at least X" -> 20th pct.
+        at_least = percentile_of_apps(values, 0.8, tail="upper")
+        assert at_least == pytest.approx(2.8)
+
+    def test_lower_tail(self):
+        values = list(range(1, 11))
+        at_most = percentile_of_apps(values, 0.8, tail="lower")
+        assert at_most == pytest.approx(8.2)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            percentile_of_apps([1.0], 1.0)
+
+    def test_invalid_tail(self):
+        with pytest.raises(ConfigurationError):
+            percentile_of_apps([1.0], 0.8, tail="middle")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile_of_apps([], 0.8)
+
+
+class TestSavingsPercent:
+    def test_value(self):
+        assert savings_percent(1000.0, 800.0) == pytest.approx(20.0)
+
+    def test_negative_saving_allowed(self):
+        assert savings_percent(1000.0, 1100.0) == pytest.approx(-10.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            savings_percent(0.0, 10.0)
+
+
+def measurement(app, category, base, governed, quality):
+    return AppMeasurement(app_name=app, category=category,
+                          baseline_power_mw=base,
+                          governed_power_mw=governed,
+                          display_quality=quality)
+
+
+class TestAppMeasurement:
+    def test_derived_fields(self):
+        m = measurement("a", AppCategory.GENERAL, 1000.0, 800.0, 0.9)
+        assert m.saved_power_mw == pytest.approx(200.0)
+        assert m.saved_power_percent == pytest.approx(20.0)
+        assert m.display_quality_percent == pytest.approx(90.0)
+
+    def test_zero_baseline_rejected(self):
+        m = measurement("a", AppCategory.GENERAL, 0.0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            m.saved_power_percent
+
+
+class TestSummaries:
+    def _rows(self):
+        return [
+            measurement("g1", AppCategory.GENERAL, 1000.0, 800.0, 0.9),
+            measurement("g2", AppCategory.GENERAL, 800.0, 700.0, 0.8),
+            measurement("m1", AppCategory.GAME, 1200.0, 900.0, 0.95),
+        ]
+
+    def test_summarize_method(self):
+        summary = summarize_method("section", AppCategory.GENERAL,
+                                   self._rows())
+        assert summary.n_apps == 2
+        assert summary.saved_power_mw.mean == pytest.approx(150.0)
+        assert summary.display_quality_percent.mean == pytest.approx(85.0)
+
+    def test_summarize_empty_category_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_method("section", AppCategory.GAME, [
+                measurement("g", AppCategory.GENERAL, 1.0, 1.0, 1.0)])
+
+    def test_summarize_categories_structure(self):
+        summaries = summarize_categories({"section": self._rows(),
+                                          "section+boost": self._rows()})
+        assert len(summaries) == 2
+        for summary in summaries:
+            assert set(summary.methods) == {"section", "section+boost"}
+
+    def test_empty_methods_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_categories({})
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"],
+                            [["a", "1"], ["longer", "22"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # All data lines share the header's width.
+        assert len(lines[3]) == len(lines[1])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])

@@ -1,0 +1,295 @@
+"""Tests for application profiles, the catalog, and app behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import Application
+from repro.apps.catalog import (
+    GAME_APP_NAMES,
+    GENERAL_APP_NAMES,
+    all_app_names,
+    app_profile,
+    profiles_by_category,
+)
+from repro.apps.profile import (
+    AppCategory,
+    AppProfile,
+    ContentProcess,
+    RenderStyle,
+)
+from repro.apps.wallpaper import LiveWallpaper, nexus_revamped
+from repro.errors import ConfigurationError, WorkloadError
+from repro.graphics.compositor import SurfaceManager
+from repro.graphics.framebuffer import Framebuffer
+from repro.graphics.surface import Surface
+from repro.inputs.touch import TouchEvent, TouchKind
+from repro.sim.engine import Simulator
+
+
+def make_app(profile, seed=0):
+    sim = Simulator()
+    fb = Framebuffer(48, 36)
+    compositor = SurfaceManager(fb)
+    surface = Surface(48, 36, name=profile.name)
+    compositor.register_surface(surface)
+    app = Application(profile, sim, compositor, surface, seed=seed)
+    return sim, fb, compositor, app
+
+
+def simple_profile(**overrides):
+    defaults = dict(
+        name="test-app", category=AppCategory.GENERAL,
+        idle_content_fps=2.0, active_content_fps=20.0,
+        idle_submit_fps=0.0, render_style=RenderStyle.SCENE,
+    )
+    defaults.update(overrides)
+    return AppProfile(**defaults)
+
+
+def drive_vsyncs(sim, app, compositor, duration, rate=60.0):
+    """Manually drive vsync callbacks at a fixed rate."""
+    period = 1.0 / rate
+    n = int(duration / period)
+    for i in range(1, n + 1):
+        t = i * period
+
+        def tick(s, t=t):
+            app.on_vsync(t)
+            compositor.on_vsync(t)
+
+        sim.call_at(t, tick)
+    sim.run_until(duration + 1e-9)
+
+
+class TestAppProfile:
+    def test_valid_profile(self):
+        p = simple_profile()
+        assert not p.is_game
+
+    def test_active_below_idle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simple_profile(idle_content_fps=10.0, active_content_fps=5.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simple_profile(name="")
+
+    def test_bad_scroll_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simple_profile(scroll_fraction=2.0)
+
+    @pytest.mark.parametrize("style", list(RenderStyle))
+    def test_every_style_makes_a_renderer(self, style):
+        p = simple_profile(render_style=style)
+        renderer = p.make_renderer()
+        assert hasattr(renderer, "render")
+
+
+class TestCatalog:
+    def test_thirty_apps_fifteen_each(self):
+        assert len(GENERAL_APP_NAMES) == 15
+        assert len(GAME_APP_NAMES) == 15
+        assert len(all_app_names()) == 30
+        assert len(set(all_app_names())) == 30
+
+    def test_paper_trace_apps_present(self):
+        assert "Facebook" in GENERAL_APP_NAMES
+        assert "Jelly Splash" in GAME_APP_NAMES
+
+    def test_paper_named_redundant_apps_present(self):
+        # Cash Slide and Daum Maps are named in Figure 3(d); CGV in
+        # the Figure 9 discussion.
+        for name in ("Cash Slide", "Daum Maps", "CGV"):
+            assert name in GENERAL_APP_NAMES
+
+    def test_lookup(self):
+        p = app_profile("Facebook")
+        assert p.category is AppCategory.GENERAL
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(WorkloadError):
+            app_profile("Angry Birds")
+
+    def test_profiles_by_category(self):
+        generals = profiles_by_category(AppCategory.GENERAL)
+        games = profiles_by_category(AppCategory.GAME)
+        assert len(generals) == len(games) == 15
+        assert all(not p.is_game for p in generals)
+        assert all(p.is_game for p in games)
+
+    def test_games_submit_redundantly(self):
+        # Figure 3: games run free-running loops; 80 % should have
+        # submit rates far above their content rates.
+        games = profiles_by_category(AppCategory.GAME)
+        heavy = [g for g in games if g.idle_submit_fps >= 30.0]
+        assert len(heavy) >= 12
+
+    def test_general_apps_mostly_modest_content(self):
+        generals = profiles_by_category(AppCategory.GENERAL)
+        low = [g for g in generals if g.idle_content_fps < 30.0]
+        assert len(low) == 15
+
+
+class TestApplicationContentProcess:
+    def test_idle_content_rate_statistical(self):
+        profile = simple_profile(idle_content_fps=5.0)
+        sim, fb, comp, app = make_app(profile, seed=3)
+        app.start()
+        sim.run_until(60.0)
+        rate = len(app.content_changes) / 60.0
+        assert 3.5 < rate < 6.5
+
+    def test_zero_idle_rate_produces_no_content(self):
+        profile = simple_profile(idle_content_fps=0.0)
+        sim, fb, comp, app = make_app(profile)
+        app.start()
+        sim.run_until(30.0)
+        assert len(app.content_changes) == 0
+
+    def test_periodic_process_is_exact(self):
+        profile = simple_profile(idle_content_fps=10.0,
+                                 active_content_fps=10.0,
+                                 content_process=ContentProcess.PERIODIC)
+        sim, fb, comp, app = make_app(profile)
+        app.start()
+        sim.run_until(5.0)
+        assert len(app.content_changes) == 50
+
+    def test_animation_process_near_nominal(self):
+        profile = simple_profile(idle_content_fps=10.0,
+                                 active_content_fps=10.0,
+                                 content_process=ContentProcess.ANIMATION)
+        sim, fb, comp, app = make_app(profile, seed=1)
+        app.start()
+        sim.run_until(20.0)
+        rate = len(app.content_changes) / 20.0
+        assert 9.0 < rate < 11.0
+
+    def test_animation_gaps_never_bunch(self):
+        profile = simple_profile(idle_content_fps=10.0,
+                                 active_content_fps=10.0,
+                                 content_process=ContentProcess.ANIMATION)
+        sim, fb, comp, app = make_app(profile, seed=2)
+        app.start()
+        sim.run_until(10.0)
+        gaps = np.diff(app.content_changes.times)
+        assert gaps.min() >= 0.085 - 1e-9
+
+    def test_touch_elevates_content_rate(self):
+        profile = simple_profile(idle_content_fps=0.0,
+                                 active_content_fps=30.0,
+                                 burst_duration_s=1.0)
+        sim, fb, comp, app = make_app(profile, seed=4)
+        app.start()
+        sim.call_at(5.0, lambda s: app.on_touch(TouchEvent(5.0)))
+        sim.run_until(10.0)
+        times = app.content_changes.times
+        assert len(times) > 10
+        assert times.min() >= 5.0
+        assert times.max() <= 6.3  # burst window + one stale gap
+
+    def test_scroll_extends_burst_by_duration(self):
+        profile = simple_profile(idle_content_fps=0.0,
+                                 active_content_fps=30.0,
+                                 burst_duration_s=1.0)
+        sim, fb, comp, app = make_app(profile, seed=4)
+        app.start()
+        scroll = TouchEvent(5.0, kind=TouchKind.SCROLL, duration_s=2.0)
+        sim.call_at(5.0, lambda s: app.on_touch(scroll))
+        sim.run_until(10.0)
+        assert app.interacting(7.5)
+        assert not app.interacting(8.1)
+
+    def test_same_seed_same_content_stream(self):
+        def run():
+            profile = simple_profile(idle_content_fps=8.0)
+            sim, fb, comp, app = make_app(profile, seed=9)
+            app.start()
+            sim.run_until(30.0)
+            return tuple(app.content_changes.times)
+
+        assert run() == run()
+
+
+class TestApplicationRenderLoop:
+    def test_on_change_app_posts_only_on_content(self):
+        profile = simple_profile(idle_content_fps=2.0,
+                                 idle_submit_fps=0.0)
+        sim, fb, comp, app = make_app(profile, seed=5)
+        app.start()
+        drive_vsyncs(sim, app, comp, 10.0)
+        # Posts should track content changes (minus coalescing).
+        assert len(app.submissions) <= len(app.content_changes)
+        assert len(app.submissions) >= len(app.content_changes) * 0.6
+        assert comp.redundant_compositions == 0
+
+    def test_free_running_app_posts_every_vsync(self):
+        profile = simple_profile(idle_content_fps=0.5,
+                                 idle_submit_fps=60.0)
+        sim, fb, comp, app = make_app(profile, seed=5)
+        app.start()
+        drive_vsyncs(sim, app, comp, 5.0)
+        assert len(app.submissions) == pytest.approx(300, abs=3)
+        assert comp.redundant_compositions > 250
+
+    def test_throttled_idle_submit(self):
+        profile = simple_profile(idle_content_fps=0.0,
+                                 idle_submit_fps=10.0)
+        sim, fb, comp, app = make_app(profile)
+        app.start()
+        drive_vsyncs(sim, app, comp, 5.0)
+        assert len(app.submissions) == pytest.approx(50, abs=2)
+
+    def test_coalescing_counts_lost_changes(self):
+        # 60 fps periodic content driven at 20 Hz vsync: two of every
+        # three changes coalesce.
+        profile = simple_profile(idle_content_fps=60.0,
+                                 active_content_fps=60.0,
+                                 content_process=ContentProcess.PERIODIC)
+        sim, fb, comp, app = make_app(profile)
+        app.start()
+        drive_vsyncs(sim, app, comp, 3.0, rate=20.0)
+        assert app.coalesced_changes > 100
+        assert len(app.submissions) == pytest.approx(60, abs=2)
+
+    def test_double_start_rejected(self):
+        profile = simple_profile()
+        _, _, _, app = make_app(profile)
+        app.start()
+        with pytest.raises(WorkloadError):
+            app.start()
+
+    def test_vsync_before_start_is_noop(self):
+        profile = simple_profile()
+        sim, fb, comp, app = make_app(profile)
+        app.on_vsync(0.1)
+        assert len(app.submissions) == 0
+
+
+class TestWallpaper:
+    def test_nexus_revamped_profile(self):
+        wp = nexus_revamped()
+        assert wp.frame_fps == 20.0
+        assert not wp.full_screen
+        profile = wp.as_app_profile()
+        assert profile.content_process is ContentProcess.PERIODIC
+        assert profile.idle_submit_fps == 0.0
+
+    def test_wallpaper_renders_small_changes(self):
+        sim = Simulator()
+        fb = Framebuffer(96, 96)
+        comp = SurfaceManager(fb)
+        surface = Surface(96, 96, name="wp")
+        comp.register_surface(surface)
+        wp = LiveWallpaper(nexus_revamped(num_dots=2, dot_px=4,
+                                          step_px=4),
+                           sim, comp, surface, seed=0)
+        wp.start()
+        drive_vsyncs(sim, wp, comp, 2.0)
+        # Periodic 20 fps content for 2 s -> ~40 meaningful frames.
+        assert comp.meaningful_compositions >= 35
+
+    def test_invalid_wallpaper_rate_rejected(self):
+        from repro.apps.wallpaper import WallpaperProfile
+        with pytest.raises(ConfigurationError):
+            WallpaperProfile(name="bad", frame_fps=90.0)

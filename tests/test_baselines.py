@@ -1,0 +1,102 @@
+"""Tests for baseline governors (fixed, oracle, E3)."""
+
+import pytest
+
+from repro.apps.base import Application
+from repro.apps.profile import AppCategory, AppProfile, RenderStyle
+from repro.baselines.e3 import E3ScrollGovernor
+from repro.baselines.fixed import FixedRefreshGovernor
+from repro.baselines.oracle import OracleGovernor
+from repro.core.section_table import SectionTable
+from repro.errors import ConfigurationError
+from repro.graphics.compositor import SurfaceManager
+from repro.graphics.framebuffer import Framebuffer
+from repro.graphics.surface import Surface
+from repro.inputs.touch import TouchEvent, TouchKind
+from repro.sim.engine import Simulator
+
+RATES = (20.0, 24.0, 30.0, 40.0, 60.0)
+
+
+class TestFixedRefreshGovernor:
+    def test_constant(self):
+        gov = FixedRefreshGovernor(60.0)
+        assert gov.select_rate(0.0) == 60.0
+        assert gov.select_rate(1e6) == 60.0
+
+    def test_touch_ignored(self):
+        gov = FixedRefreshGovernor(60.0)
+        assert gov.on_touch(1.0) is None
+
+    def test_name_includes_rate(self):
+        assert "60" in FixedRefreshGovernor(60.0).name
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedRefreshGovernor(0.0)
+
+
+class TestOracleGovernor:
+    def _app(self, idle=5.0, active=33.0):
+        profile = AppProfile(
+            name="oracle-test", category=AppCategory.GENERAL,
+            idle_content_fps=idle, active_content_fps=active,
+            render_style=RenderStyle.SCENE)
+        sim = Simulator()
+        fb = Framebuffer(16, 12)
+        comp = SurfaceManager(fb)
+        surface = Surface(16, 12)
+        comp.register_surface(surface)
+        return sim, Application(profile, sim, comp, surface)
+
+    def test_idle_rate_from_true_content(self):
+        _, app = self._app(idle=5.0)
+        gov = OracleGovernor(SectionTable.from_rates(RATES), app)
+        assert gov.select_rate(1.0) == 20.0
+
+    def test_reacts_instantly_to_interaction(self):
+        sim, app = self._app(idle=5.0, active=33.0)
+        gov = OracleGovernor(SectionTable.from_rates(RATES), app)
+        app.on_touch(TouchEvent(1.0))
+        # 33 fps true content -> 40 Hz section, with zero lag.
+        assert gov.select_rate(1.01) == 40.0
+
+    def test_content_above_panel_max_saturates(self):
+        _, app = self._app(idle=5.0, active=200.0)
+        gov = OracleGovernor(SectionTable.from_rates(RATES), app)
+        app.on_touch(TouchEvent(0.5))
+        assert gov.select_rate(0.6) == 60.0
+
+
+class TestE3ScrollGovernor:
+    def test_low_rate_by_default(self):
+        gov = E3ScrollGovernor(20.0, 60.0)
+        assert gov.select_rate(0.0) == 20.0
+
+    def test_touch_raises_immediately(self):
+        gov = E3ScrollGovernor(20.0, 60.0, tail_s=1.0)
+        assert gov.on_touch(5.0) == 60.0
+        assert gov.select_rate(5.9) == 60.0
+        assert gov.select_rate(6.1) == 20.0
+
+    def test_scroll_holds_for_gesture_plus_tail(self):
+        gov = E3ScrollGovernor(20.0, 60.0, tail_s=1.0)
+        gov.on_touch_event(TouchEvent(5.0, kind=TouchKind.SCROLL,
+                                      duration_s=2.0))
+        assert gov.select_rate(7.5) == 60.0
+        assert gov.select_rate(8.1) == 20.0
+
+    def test_content_blindness(self):
+        """E3's weakness the paper's scheme fixes: video with no touch
+        gets the low rate."""
+        gov = E3ScrollGovernor(20.0, 60.0)
+        # A 24 fps video is playing, but no interaction happens:
+        assert gov.select_rate(100.0) == 20.0  # stutters the video
+
+    def test_inverted_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            E3ScrollGovernor(60.0, 20.0)
+
+    def test_equal_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            E3ScrollGovernor(60.0, 60.0)

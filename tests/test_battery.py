@@ -1,0 +1,92 @@
+"""Tests for battery-life projection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.battery import (
+    GALAXY_S3_BATTERY,
+    BatterySpec,
+    minutes_gained,
+    screen_on_hours,
+)
+
+
+class TestBatterySpec:
+    def test_usable_energy(self):
+        spec = BatterySpec(capacity_mah=1000.0, nominal_voltage_v=1.0,
+                           usable_fraction=1.0)
+        # 1000 mAh x 1 V = 1000 mWh = 3.6e6 mJ.
+        assert spec.usable_energy_mj == pytest.approx(3.6e6)
+
+    def test_galaxy_s3_pack(self):
+        # 2100 mAh x 3.8 V x 0.92 = ~7.34 Wh usable.
+        assert GALAXY_S3_BATTERY.usable_energy_mj == pytest.approx(
+            2100 * 3.8 * 3600 * 0.92)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity_mah": 0.0},
+        {"nominal_voltage_v": -1.0},
+        {"usable_fraction": 0.0},
+        {"usable_fraction": 1.1},
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BatterySpec(**kwargs)
+
+
+class TestScreenOnHours:
+    def test_inverse_in_power(self):
+        assert screen_on_hours(500.0) == pytest.approx(
+            2.0 * screen_on_hours(1000.0))
+
+    def test_realistic_magnitude(self):
+        # ~800 mW screen-on draw on the S3 pack: several hours.
+        hours = screen_on_hours(800.0)
+        assert 5.0 < hours < 15.0
+
+    def test_zero_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            screen_on_hours(0.0)
+
+
+class TestMinutesGained:
+    def test_positive_for_a_saving(self):
+        assert minutes_gained(800.0, 650.0) > 0.0
+
+    def test_zero_for_no_change(self):
+        assert minutes_gained(800.0, 800.0) == pytest.approx(0.0)
+
+    def test_negative_for_regression(self):
+        assert minutes_gained(800.0, 900.0) < 0.0
+
+    def test_paper_scale_saving_gains_an_hour_plus(self):
+        # ~150 mW off an ~800 mW draw gains over an hour of screen-on
+        # time — the user-facing statement of the paper's result.
+        gained = minutes_gained(800.0, 650.0)
+        assert 60.0 < gained < 240.0
+
+    def test_custom_battery(self):
+        small = BatterySpec(capacity_mah=1000.0)
+        assert minutes_gained(800.0, 650.0, small) < \
+            minutes_gained(800.0, 650.0, GALAXY_S3_BATTERY)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            minutes_gained(0.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            minutes_gained(100.0, 0.0)
+
+
+class TestSessionIntegration:
+    def test_end_to_end_minutes_gained(self):
+        import repro
+        base = repro.run_session(repro.SessionConfig(
+            app="Jelly Splash", governor="fixed", duration_s=15.0,
+            seed=1))
+        governed = repro.run_session(repro.SessionConfig(
+            app="Jelly Splash", governor="section+boost",
+            duration_s=15.0, seed=1))
+        gained = minutes_gained(
+            base.power_report().mean_power_mw,
+            governed.power_report().mean_power_mw)
+        assert gained > 20.0  # the game's saving is worth real time

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_governor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--app", "Facebook", "--governor", "psychic"])
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--app", "Facebook", "--panel", "crt"])
+
+
+class TestApps:
+    def test_lists_all_thirty(self, capsys):
+        code, out = run_cli(capsys, "apps")
+        assert code == 0
+        assert "Facebook" in out
+        assert "Jelly Splash" in out
+        assert out.count("general") >= 15
+        assert out.count("game") >= 15
+
+
+class TestTable:
+    def test_galaxy_s3_table(self, capsys):
+        code, out = run_cli(capsys, "table", "--panel", "galaxy-s3")
+        assert code == 0
+        assert "[0, 10) fps -> 20 Hz" in out
+        assert "[35, inf) fps -> 60 Hz" in out
+
+    def test_custom_rates(self, capsys):
+        code, out = run_cli(capsys, "table", "--rates", "30,60,120")
+        assert code == 0
+        assert "30 Hz" in out and "120 Hz" in out
+        # First threshold is r1/2 = 15.
+        assert "[0, 15)" in out
+
+    def test_invalid_custom_rates_exit_code(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table", "--rates", "60,60"])
+
+
+class TestRun:
+    def test_run_summary(self, capsys):
+        code, out = run_cli(capsys, "run", "--app", "Facebook",
+                            "--duration", "6", "--seed", "2")
+        assert code == 0
+        assert "mean power:" in out
+        assert "mean refresh:" in out
+        assert "Facebook" in out
+
+    def test_run_with_oled(self, capsys):
+        code, out = run_cli(capsys, "run", "--app", "Facebook",
+                            "--duration", "6", "--oled")
+        assert code == 0
+        assert "emission" in out
+
+    def test_unknown_app_exits_with_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--app", "Nonexistent", "--duration", "5"])
+
+
+class TestCompare:
+    def test_compare_table(self, capsys):
+        code, out = run_cli(capsys, "compare", "--app", "Facebook",
+                            "--duration", "8",
+                            "--governors", "section")
+        assert code == 0
+        assert "fixed" in out
+        assert "section" in out
+        assert "saved mW" in out
+
+
+class TestExperiment:
+    def test_listing(self, capsys):
+        code, out = run_cli(capsys, "experiment")
+        assert code == 0
+        for experiment_id in ("fig2", "fig6", "table1"):
+            assert experiment_id in out
+
+    def test_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestExport:
+    def test_writes_three_files(self, capsys, tmp_path):
+        prefix = str(tmp_path / "session")
+        code, out = run_cli(capsys, "export", "--app", "Facebook",
+                            "--duration", "6", "--out", prefix)
+        assert code == 0
+        assert (tmp_path / "session.json").exists()
+        assert (tmp_path / "session_trace.csv").exists()
+        assert (tmp_path / "session_events.csv").exists()
+
+
+class TestScenario:
+    def test_scenario_table(self, capsys):
+        code, out = run_cli(capsys, "scenario",
+                            "--apps", "KakaoTalk,Facebook",
+                            "--segment-duration", "8")
+        assert code == 0
+        assert "KakaoTalk" in out and "Facebook" in out
+        assert "total:" in out
+
+    def test_oracle_not_offered(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenario", "--apps", "Facebook",
+                 "--governor", "oracle"])

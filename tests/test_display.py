@@ -1,0 +1,181 @@
+"""Tests for the display hardware model (spec, panel, presets)."""
+
+import pytest
+
+from repro.display.panel import DisplayPanel
+from repro.display.presets import (
+    FIXED_60_PANEL,
+    GALAXY_S3_PANEL,
+    LTPO_120_PANEL,
+    panel_preset,
+    panel_preset_names,
+)
+from repro.display.spec import PanelSpec
+from repro.errors import ConfigurationError, DisplayError
+from repro.sim.engine import Simulator
+
+
+class TestPanelSpec:
+    def test_rates_sorted_ascending(self):
+        spec = PanelSpec("x", 10, 10, refresh_rates_hz=(60.0, 20.0, 40.0))
+        assert spec.refresh_rates_hz == (20.0, 40.0, 60.0)
+
+    def test_min_max(self):
+        assert GALAXY_S3_PANEL.min_refresh_hz == 20.0
+        assert GALAXY_S3_PANEL.max_refresh_hz == 60.0
+
+    def test_galaxy_s3_is_the_paper_device(self):
+        assert GALAXY_S3_PANEL.refresh_rates_hz == (20.0, 24.0, 30.0,
+                                                    40.0, 60.0)
+        assert GALAXY_S3_PANEL.pixel_count == 921_600
+
+    def test_supports_and_validate(self):
+        assert GALAXY_S3_PANEL.supports(24.0)
+        assert not GALAXY_S3_PANEL.supports(25.0)
+        assert GALAXY_S3_PANEL.validate_rate(24.0) == 24.0
+        with pytest.raises(ConfigurationError):
+            GALAXY_S3_PANEL.validate_rate(25.0)
+
+    def test_duplicate_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PanelSpec("x", 10, 10, refresh_rates_hz=(60.0, 60.0))
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PanelSpec("x", 10, 10, refresh_rates_hz=())
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PanelSpec("x", 10, 10, refresh_rates_hz=(0.0, 60.0))
+
+    def test_scaled(self):
+        scaled = GALAXY_S3_PANEL.scaled(8)
+        assert scaled.width == 90
+        assert scaled.height == 160
+        assert scaled.refresh_rates_hz == GALAXY_S3_PANEL.refresh_rates_hz
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert panel_preset("galaxy-s3") is GALAXY_S3_PANEL
+        assert panel_preset("fixed-60") is FIXED_60_PANEL
+        assert panel_preset("ltpo-120") is LTPO_120_PANEL
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            panel_preset("nokia-3310")
+
+    def test_names_cover_registry(self):
+        names = panel_preset_names()
+        assert "galaxy-s3" in names
+        for name in names:
+            panel_preset(name)
+
+
+class TestDisplayPanel:
+    def _panel(self, initial=None):
+        sim = Simulator()
+        panel = DisplayPanel(sim, GALAXY_S3_PANEL, initial_rate_hz=initial)
+        return sim, panel
+
+    def test_defaults_to_max_rate(self):
+        _, panel = self._panel()
+        assert panel.refresh_rate_hz == 60.0
+
+    def test_vsync_cadence_at_60hz(self):
+        sim, panel = self._panel()
+        ticks = []
+        panel.add_vsync_listener(ticks.append)
+        panel.start()
+        sim.run_until(1.0 + 1e-6)
+        assert len(ticks) == 60
+        assert ticks[0] == pytest.approx(1.0 / 60.0)
+
+    def test_vsync_cadence_at_20hz(self):
+        sim, panel = self._panel(initial=20.0)
+        panel.start()
+        sim.run_until(1.0 + 1e-6)
+        assert panel.vsync_count == 20
+
+    def test_unsupported_rate_rejected(self):
+        _, panel = self._panel()
+        with pytest.raises(ConfigurationError):
+            panel.set_refresh_rate(25.0)
+
+    def test_switch_takes_effect_at_frame_boundary(self):
+        sim, panel = self._panel()
+        panel.start()
+        sim.run_until(0.005)  # before the first vsync
+        panel.set_refresh_rate(20.0)
+        # Still 60 Hz until the next vsync latches the switch.
+        assert panel.refresh_rate_hz == 60.0
+        assert panel.target_rate_hz == 20.0
+        sim.run_until(1.0 / 60.0 + 1e-6)
+        assert panel.refresh_rate_hz == 20.0
+
+    def test_vsync_count_reflects_mixed_rates(self):
+        sim, panel = self._panel()
+        panel.start()
+        sim.run_until(1.0)
+        panel.set_refresh_rate(20.0)
+        sim.run_until(2.0)
+        # ~60 in the first second, ~20 in the second.
+        assert 75 <= panel.vsync_count <= 85
+
+    def test_switch_before_start_is_immediate(self):
+        _, panel = self._panel()
+        panel.set_refresh_rate(30.0)
+        assert panel.refresh_rate_hz == 30.0
+
+    def test_setting_current_rate_is_noop(self):
+        sim, panel = self._panel()
+        panel.start()
+        sim.run_until(0.5)
+        panel.set_refresh_rate(60.0)
+        sim.run_until(1.0)
+        assert panel.rate_switches == 0
+
+    def test_rate_change_listener(self):
+        sim, panel = self._panel()
+        seen = []
+        panel.add_rate_change_listener(lambda t, r: seen.append((t, r)))
+        panel.start()
+        sim.run_until(0.1)
+        panel.set_refresh_rate(40.0)
+        sim.run_until(0.2)
+        assert len(seen) == 1
+        assert seen[0][1] == 40.0
+
+    def test_rate_history_integrates(self):
+        sim, panel = self._panel()
+        panel.start()
+        sim.run_until(1.0)
+        panel.set_refresh_rate(20.0)
+        sim.run_until(2.0)
+        mean = panel.rate_history.mean(0.0, sim.now)
+        assert 35.0 < mean < 60.0
+
+    def test_stop_halts_vsyncs(self):
+        sim, panel = self._panel()
+        panel.start()
+        sim.run_until(0.5)
+        count = panel.vsync_count
+        panel.stop()
+        sim.run_until(2.0)
+        assert panel.vsync_count == count
+        assert not panel.running
+
+    def test_double_start_rejected(self):
+        _, panel = self._panel()
+        panel.start()
+        with pytest.raises(DisplayError):
+            panel.start()
+
+    def test_pending_switch_overwrite_last_wins(self):
+        sim, panel = self._panel()
+        panel.start()
+        sim.run_until(0.001)
+        panel.set_refresh_rate(20.0)
+        panel.set_refresh_rate(40.0)
+        sim.run_until(0.05)
+        assert panel.refresh_rate_hz == 40.0

@@ -1,0 +1,121 @@
+"""Tests for trace export and multi-seed replication."""
+
+import csv
+import json
+
+import pytest
+
+import repro
+from repro.analysis.export import (
+    session_summary_dict,
+    write_events_csv,
+    write_session_json,
+    write_trace_csv,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.replication import (
+    ReplicatedComparison,
+    replicate_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return repro.run_session(repro.SessionConfig(
+        app="Facebook", governor="section+boost", duration_s=12.0,
+        seed=2))
+
+
+class TestSummaryDict:
+    def test_fields(self, result):
+        summary = session_summary_dict(result)
+        assert summary["app"] == "Facebook"
+        assert summary["governor"] == "section-based+touch-boost"
+        assert summary["duration_s"] == 12.0
+        assert summary["mean_power_mw"] > 0
+        assert 0.0 <= summary["display_quality"] <= 1.0
+        assert set(summary["component_power_mw"]) == {
+            "base", "panel", "compose", "render", "meter", "emission"}
+
+    def test_json_roundtrip(self, result, tmp_path):
+        path = write_session_json(result, tmp_path / "session.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == session_summary_dict(result)
+
+
+class TestTraceCsv:
+    def test_columns_and_rows(self, result, tmp_path):
+        path = write_trace_csv(result, tmp_path / "trace.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["time_s", "frame_rate_fps",
+                           "content_rate_fps", "measured_content_fps",
+                           "refresh_hz", "power_mw"]
+        assert len(rows) - 1 == 12  # one per 1 s bin
+        for row in rows[1:]:
+            assert len(row) == 6
+            float(row[0])  # parseable
+
+    def test_refresh_values_are_panel_levels(self, result, tmp_path):
+        path = write_trace_csv(result, tmp_path / "trace.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))[1:]
+        levels = set(repro.GALAXY_S3_PANEL.refresh_rates_hz)
+        for row in rows:
+            assert float(row[4]) in levels
+
+    def test_invalid_bin_width_rejected(self, result, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_trace_csv(result, tmp_path / "x.csv", bin_width_s=0.0)
+
+
+class TestEventsCsv:
+    def test_events_sorted_and_typed(self, result, tmp_path):
+        path = write_events_csv(result, tmp_path / "events.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))[1:]
+        times = [float(r[0]) for r in rows]
+        kinds = {r[1] for r in rows}
+        assert times == sorted(times)
+        assert kinds <= {"touch", "content_change", "frame_update",
+                         "meaningful_frame"}
+        assert "frame_update" in kinds
+        assert "content_change" in kinds
+
+
+class TestReplication:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return replicate_comparison("Jelly Splash",
+                                    seeds=(1, 2, 3),
+                                    duration_s=15.0)
+
+    def test_one_measurement_per_seed(self, comparison):
+        assert len(comparison.saved_mw) == 3
+        assert len(comparison.quality) == 3
+
+    def test_stats(self, comparison):
+        stats = comparison.saved_stats
+        assert stats.n == 3
+        assert stats.mean > 0
+
+    def test_confidence_interval_brackets_mean(self, comparison):
+        low, high = comparison.saving_confidence_interval()
+        assert low <= comparison.saved_stats.mean <= high
+
+    def test_game_saving_is_significant(self, comparison):
+        # The free-running game's saving dwarfs seed noise.
+        assert comparison.saving_is_significant()
+
+    def test_ci_deterministic(self, comparison):
+        assert comparison.saving_confidence_interval() == \
+            comparison.saving_confidence_interval()
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replicate_comparison("Facebook", seeds=())
+        comp = ReplicatedComparison(
+            app="x", governor="g", seeds=(1,), saved_mw=(10.0,),
+            quality=(1.0,))
+        with pytest.raises(ConfigurationError):
+            comp.saving_confidence_interval(confidence=1.5)

@@ -1,0 +1,185 @@
+"""Tests for governor policies and the driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.content_rate import ContentRateMeter, MeterConfig
+from repro.core.governor import (
+    GovernorDriver,
+    NaiveMatchGovernor,
+    SectionBasedGovernor,
+    TouchBoostGovernor,
+)
+from repro.core.section_table import SectionTable
+from repro.display.panel import DisplayPanel
+from repro.display.presets import GALAXY_S3_PANEL
+from repro.errors import ConfigurationError
+from repro.graphics.framebuffer import Framebuffer
+from repro.sim.engine import Simulator
+
+RATES = GALAXY_S3_PANEL.refresh_rates_hz
+
+
+def make_meter():
+    fb = Framebuffer(32, 24)
+    return fb, ContentRateMeter(fb, MeterConfig(sample_count=64))
+
+
+def write_meaningful(fb, time, value):
+    fb.write(np.full(fb.shape, value % 256, dtype=np.uint8), time)
+
+
+class TestSectionBasedGovernor:
+    def test_idle_selects_minimum(self):
+        _, meter = make_meter()
+        gov = SectionBasedGovernor(SectionTable.from_rates(RATES), meter)
+        assert gov.select_rate(5.0) == 20.0
+
+    def test_rate_tracks_content(self):
+        fb, meter = make_meter()
+        gov = SectionBasedGovernor(SectionTable.from_rates(RATES), meter)
+        # 15 meaningful frames in the last second -> 24 Hz section.
+        for i in range(15):
+            write_meaningful(fb, 4.0 + i / 15.0, i * 16)
+        assert gov.select_rate(5.0) == 24.0
+
+    def test_high_content_selects_maximum(self):
+        fb, meter = make_meter()
+        gov = SectionBasedGovernor(SectionTable.from_rates(RATES), meter)
+        for i in range(40):
+            write_meaningful(fb, 4.0 + i / 40.0, i * 6)
+        assert gov.select_rate(5.0) == 60.0
+
+
+class TestNaiveMatchGovernor:
+    def test_picks_lowest_rate_covering_content(self):
+        fb, meter = make_meter()
+        gov = NaiveMatchGovernor(RATES, meter)
+        for i in range(22):
+            write_meaningful(fb, 4.0 + i / 22.0, i * 11)
+        # 22 fps content -> naive picks 24 Hz (lowest >= 22).
+        assert gov.select_rate(5.0) == 24.0
+
+    def test_zero_content_picks_minimum(self):
+        _, meter = make_meter()
+        gov = NaiveMatchGovernor(RATES, meter)
+        assert gov.select_rate(1.0) == 20.0
+
+    def test_saturates_at_maximum(self):
+        fb, meter = make_meter()
+        gov = NaiveMatchGovernor(RATES, meter)
+        for i in range(70):
+            write_meaningful(fb, 4.0 + i / 70.0, i)
+        assert gov.select_rate(5.0) == 60.0
+
+    def test_no_headroom_is_the_deadlock(self):
+        """The paper's negative result: the naive rule picks a rate
+        *equal* to the section top, so V-Sync clipping can hide content
+        growth — unlike the section table, which leaves headroom."""
+        fb, meter = make_meter()
+        gov = NaiveMatchGovernor(RATES, meter)
+        table = SectionTable.from_rates(RATES)
+        # Exactly 20 fps measured (= clipped at a 20 Hz refresh).
+        for i in range(20):
+            write_meaningful(fb, 4.0 + i / 20.0, i * 12)
+        assert gov.select_rate(5.0) == 20.0      # stuck
+        assert table.lookup(20.0) == 24.0        # section control escapes
+
+    def test_empty_rates_rejected(self):
+        _, meter = make_meter()
+        with pytest.raises(ConfigurationError):
+            NaiveMatchGovernor([], meter)
+
+
+class TestTouchBoostGovernor:
+    def _boosted(self):
+        _, meter = make_meter()
+        inner = SectionBasedGovernor(SectionTable.from_rates(RATES), meter)
+        return TouchBoostGovernor(inner, boost_rate_hz=60.0, hold_s=1.0)
+
+    def test_no_boost_delegates_to_inner(self):
+        gov = self._boosted()
+        assert gov.select_rate(5.0) == 20.0
+
+    def test_touch_boosts_to_maximum(self):
+        gov = self._boosted()
+        assert gov.on_touch(5.0) == 60.0
+        assert gov.select_rate(5.5) == 60.0
+        assert gov.boosting(5.5)
+
+    def test_boost_expires_after_hold(self):
+        gov = self._boosted()
+        gov.on_touch(5.0)
+        assert gov.select_rate(6.1) == 20.0
+        assert not gov.boosting(6.1)
+
+    def test_repeated_touches_extend_boost(self):
+        gov = self._boosted()
+        gov.on_touch(5.0)
+        gov.on_touch(5.8)
+        assert gov.select_rate(6.5) == 60.0
+        assert gov.boosts == 2
+
+    def test_name_composes(self):
+        gov = self._boosted()
+        assert "section-based" in gov.name
+        assert "touch-boost" in gov.name
+
+
+class TestGovernorDriver:
+    def _setup(self, policy_cls=SectionBasedGovernor):
+        sim = Simulator()
+        panel = DisplayPanel(sim, GALAXY_S3_PANEL)
+        fb, meter = make_meter()
+        policy = SectionBasedGovernor(SectionTable.from_rates(RATES),
+                                      meter)
+        driver = GovernorDriver(sim, panel, policy,
+                                decision_period_s=0.2)
+        return sim, panel, fb, driver
+
+    def test_periodic_decisions_lower_idle_rate(self):
+        sim, panel, _, driver = self._setup()
+        panel.start()
+        driver.start()
+        sim.run_until(2.0)
+        assert panel.refresh_rate_hz == 20.0
+        assert len(driver.decisions) >= 9
+
+    def test_touch_with_plain_policy_is_recorded_not_applied(self):
+        sim, panel, _, driver = self._setup()
+        panel.start()
+        driver.start()
+        sim.run_until(1.0)
+        driver.notify_touch(sim.now)
+        assert driver.touch_times == (1.0,)
+        # Plain section policy has no immediate override.
+        assert panel.target_rate_hz == 20.0
+
+    def test_touch_with_boost_applies_immediately(self):
+        sim = Simulator()
+        panel = DisplayPanel(sim, GALAXY_S3_PANEL, initial_rate_hz=20.0)
+        fb, meter = make_meter()
+        policy = TouchBoostGovernor(
+            SectionBasedGovernor(SectionTable.from_rates(RATES), meter),
+            boost_rate_hz=60.0, hold_s=1.0)
+        driver = GovernorDriver(sim, panel, policy)
+        panel.start()
+        sim.run_until(1.0)
+        driver.notify_touch(sim.now)
+        assert panel.target_rate_hz == 60.0
+
+    def test_double_start_rejected(self):
+        sim, panel, _, driver = self._setup()
+        driver.start()
+        with pytest.raises(ConfigurationError):
+            driver.start()
+
+    def test_stop_halts_decisions(self):
+        sim, panel, _, driver = self._setup()
+        panel.start()
+        driver.start()
+        sim.run_until(1.0)
+        n = len(driver.decisions)
+        driver.stop()
+        sim.run_until(3.0)
+        assert len(driver.decisions) == n

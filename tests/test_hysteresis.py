@@ -1,0 +1,108 @@
+"""Tests for the hysteresis governor extension."""
+
+import pytest
+
+from repro.core.hysteresis import HysteresisGovernor
+from repro.core.governor import GovernorPolicy
+from repro.errors import ConfigurationError
+
+
+class ScriptedPolicy(GovernorPolicy):
+    """A policy replaying a fixed decision sequence (test double)."""
+
+    name = "scripted"
+
+    def __init__(self, rates, touch_rate=None):
+        self._rates = list(rates)
+        self._touch_rate = touch_rate
+        self._index = 0
+
+    def select_rate(self, now):
+        rate = self._rates[min(self._index, len(self._rates) - 1)]
+        self._index += 1
+        return rate
+
+    def on_touch(self, time):
+        return self._touch_rate
+
+
+class TestHysteresisGovernor:
+    def test_upward_changes_pass_through(self):
+        gov = HysteresisGovernor(ScriptedPolicy([20, 40, 60]),
+                                 down_confirmations=3)
+        assert gov.select_rate(0.0) == 20
+        assert gov.select_rate(0.2) == 40
+        assert gov.select_rate(0.4) == 60
+
+    def test_downward_needs_confirmations(self):
+        gov = HysteresisGovernor(ScriptedPolicy([60, 20, 20, 20, 20]),
+                                 down_confirmations=3)
+        assert gov.select_rate(0.0) == 60
+        assert gov.select_rate(0.2) == 60  # 1st down request: held
+        assert gov.select_rate(0.4) == 60  # 2nd: held
+        assert gov.select_rate(0.6) == 20  # 3rd: applied
+        assert gov.select_rate(0.8) == 20
+
+    def test_oscillation_suppressed(self):
+        # 60, then alternating 20/60 raw decisions: the damped output
+        # never leaves 60.
+        raw = [60] + [20, 60] * 5
+        gov = HysteresisGovernor(ScriptedPolicy(raw),
+                                 down_confirmations=3)
+        outputs = [gov.select_rate(0.1 * i) for i in range(len(raw))]
+        assert all(out == 60 for out in outputs)
+        assert gov.suppressed_downs > 0
+
+    def test_down_candidate_tracks_highest_seen(self):
+        # Confirmations at 20, 40, 40 should settle at 40, not 20.
+        gov = HysteresisGovernor(ScriptedPolicy([60, 20, 40, 40]),
+                                 down_confirmations=3)
+        gov.select_rate(0.0)
+        gov.select_rate(0.2)
+        gov.select_rate(0.4)
+        assert gov.select_rate(0.6) == 40
+
+    def test_single_confirmation_reproduces_inner(self):
+        raw = [60, 20, 40, 20, 60]
+        plain = ScriptedPolicy(list(raw))
+        gov = HysteresisGovernor(ScriptedPolicy(list(raw)),
+                                 down_confirmations=1)
+        for i in range(len(raw)):
+            assert gov.select_rate(0.1 * i) == plain.select_rate(0.1 * i)
+
+    def test_touch_boost_clears_pending_down(self):
+        gov = HysteresisGovernor(
+            ScriptedPolicy([60, 20, 20], touch_rate=60),
+            down_confirmations=3)
+        gov.select_rate(0.0)
+        gov.select_rate(0.2)       # pending down x1
+        assert gov.on_touch(0.3) == 60
+        # The pending-down counter restarted: two more are needed.
+        assert gov.select_rate(0.4) == 60
+
+    def test_invalid_confirmations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HysteresisGovernor(ScriptedPolicy([60]),
+                               down_confirmations=0)
+
+    def test_name_composes(self):
+        gov = HysteresisGovernor(ScriptedPolicy([60]))
+        assert gov.name == "scripted+hysteresis"
+
+
+class TestHysteresisEndToEnd:
+    def test_reduces_rate_switches_at_similar_power(self):
+        import repro
+        plain = repro.run_session(repro.SessionConfig(
+            app="Jelly Splash", governor="section+boost",
+            duration_s=30.0, seed=5))
+        damped = repro.run_session(repro.SessionConfig(
+            app="Jelly Splash", governor="section+hysteresis",
+            duration_s=30.0, seed=5))
+        assert damped.panel.rate_switches <= plain.panel.rate_switches
+        # Damping can only hold rates *higher* for longer, so power is
+        # at most slightly above the plain policy's.
+        p_plain = plain.power_report().mean_power_mw
+        p_damped = damped.power_report().mean_power_mw
+        assert p_damped >= p_plain - 1.0
+        assert p_damped < p_plain * 1.15

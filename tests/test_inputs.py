@@ -1,0 +1,180 @@
+"""Tests for touch events, scripts, and the Monkey generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.inputs.monkey import MonkeyConfig, MonkeyScriptGenerator
+from repro.inputs.touch import (
+    TouchEvent,
+    TouchKind,
+    TouchScript,
+    TouchSource,
+    merge_scripts,
+)
+from repro.sim.engine import Simulator
+
+
+class TestTouchEvent:
+    def test_tap_has_zero_duration(self):
+        e = TouchEvent(time=1.0)
+        assert e.kind is TouchKind.TAP
+        assert e.duration_s == 0.0
+
+    def test_tap_with_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TouchEvent(time=1.0, kind=TouchKind.TAP, duration_s=0.5)
+
+    def test_scroll_with_duration(self):
+        e = TouchEvent(time=1.0, kind=TouchKind.SCROLL, duration_s=0.8)
+        assert e.duration_s == 0.8
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TouchEvent(time=-0.1)
+
+
+class TestTouchScript:
+    def _script(self):
+        return TouchScript([
+            TouchEvent(3.0),
+            TouchEvent(1.0, kind=TouchKind.SCROLL, duration_s=0.5),
+            TouchEvent(2.0),
+        ])
+
+    def test_sorted_by_time(self):
+        script = self._script()
+        assert script.times == (1.0, 2.0, 3.0)
+
+    def test_len_iter_getitem(self):
+        script = self._script()
+        assert len(script) == 3
+        assert [e.time for e in script] == [1.0, 2.0, 3.0]
+        assert script[0].kind is TouchKind.SCROLL
+
+    def test_within(self):
+        script = self._script()
+        assert script.within(1.5, 3.0).times == (2.0,)
+
+    def test_kind_filters(self):
+        script = self._script()
+        assert len(script.taps()) == 2
+        assert len(script.scrolls()) == 1
+
+    def test_merge(self):
+        a = TouchScript([TouchEvent(1.0)])
+        b = TouchScript([TouchEvent(0.5)])
+        merged = merge_scripts([a, b])
+        assert merged.times == (0.5, 1.0)
+
+
+class TestTouchSource:
+    def test_events_delivered_at_scheduled_times(self):
+        sim = Simulator()
+        script = TouchScript([TouchEvent(1.0), TouchEvent(2.5)])
+        source = TouchSource(sim, script)
+        seen = []
+        source.add_listener(lambda e: seen.append((sim.now, e.time)))
+        source.start()
+        sim.run_until(10.0)
+        assert seen == [(1.0, 1.0), (2.5, 2.5)]
+        assert source.delivered == 2
+
+    def test_multiple_listeners(self):
+        sim = Simulator()
+        source = TouchSource(sim, TouchScript([TouchEvent(1.0)]))
+        a, b = [], []
+        source.add_listener(lambda e: a.append(e))
+        source.add_listener(lambda e: b.append(e))
+        source.start()
+        sim.run_until(2.0)
+        assert len(a) == len(b) == 1
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        source = TouchSource(sim, TouchScript([]))
+        source.start()
+        with pytest.raises(ConfigurationError):
+            source.start()
+
+
+class TestMonkeyConfig:
+    def test_defaults_valid(self):
+        MonkeyConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"duration_s": 0.0},
+        {"events_per_s": -1.0},
+        {"scroll_fraction": 1.5},
+        {"scroll_duration_s": 0.0},
+        {"min_gap_s": -0.1},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MonkeyConfig(**kwargs)
+
+
+class TestMonkeyScriptGenerator:
+    def test_deterministic_per_seed(self):
+        gen = MonkeyScriptGenerator(MonkeyConfig(duration_s=60.0,
+                                                 events_per_s=0.5))
+        a = gen.generate(seed=42)
+        b = gen.generate(seed=42)
+        assert a.times == b.times
+        assert [e.kind for e in a] == [e.kind for e in b]
+
+    def test_different_seeds_differ(self):
+        gen = MonkeyScriptGenerator(MonkeyConfig(duration_s=120.0,
+                                                 events_per_s=0.5))
+        assert gen.generate(1).times != gen.generate(2).times
+
+    def test_zero_rate_yields_empty_script(self):
+        gen = MonkeyScriptGenerator(MonkeyConfig(events_per_s=0.0))
+        assert len(gen.generate(0)) == 0
+
+    def test_events_within_duration(self):
+        gen = MonkeyScriptGenerator(MonkeyConfig(duration_s=30.0,
+                                                 events_per_s=1.0))
+        script = gen.generate(7)
+        assert all(0 <= e.time < 30.0 for e in script)
+        for e in script.scrolls():
+            assert e.time + e.duration_s <= 30.0 + 1e-9
+
+    def test_warmup_respected(self):
+        gen = MonkeyScriptGenerator(MonkeyConfig(duration_s=30.0,
+                                                 events_per_s=5.0,
+                                                 warmup_s=3.0))
+        script = gen.generate(11)
+        assert script.times[0] >= 3.0
+
+    def test_min_gap_enforced(self):
+        gen = MonkeyScriptGenerator(MonkeyConfig(duration_s=60.0,
+                                                 events_per_s=50.0,
+                                                 scroll_fraction=0.0,
+                                                 min_gap_s=0.5))
+        times = np.array(gen.generate(3).times)
+        assert (np.diff(times) >= 0.5 - 1e-9).all()
+
+    def test_mean_rate_statistically_close(self):
+        cfg = MonkeyConfig(duration_s=100.0, events_per_s=0.3,
+                           scroll_fraction=0.0, min_gap_s=0.0,
+                           warmup_s=0.0)
+        gen = MonkeyScriptGenerator(cfg)
+        counts = [len(gen.generate(s)) for s in range(100)]
+        assert 25.0 < np.mean(counts) < 35.0
+
+    def test_scroll_fraction_statistically_close(self):
+        cfg = MonkeyConfig(duration_s=200.0, events_per_s=0.5,
+                           scroll_fraction=0.5, min_gap_s=0.0,
+                           warmup_s=0.0)
+        gen = MonkeyScriptGenerator(cfg)
+        scripts = [gen.generate(s) for s in range(30)]
+        taps = sum(len(s.taps()) for s in scripts)
+        scrolls = sum(len(s.scrolls()) for s in scripts)
+        frac = scrolls / (taps + scrolls)
+        assert 0.4 < frac < 0.6
+
+    def test_generate_many(self):
+        gen = MonkeyScriptGenerator(MonkeyConfig(duration_s=20.0))
+        scripts = gen.generate_many([1, 2, 3])
+        assert len(scripts) == 3

@@ -1,0 +1,191 @@
+"""Cross-module integration tests: the paper's claims end-to-end.
+
+These run short full-pipeline sessions and check the *mechanisms* the
+paper's evaluation rests on, not just the plumbing:
+
+* the naive governor deadlocks under V-Sync clipping, the section
+  governor does not;
+* touch boosting recovers quality around interactions;
+* the oracle bounds the section governor's power from below;
+* E3-style interaction control breaks video, content-centric control
+  does not;
+* the governed system never reorders the workload (controlled
+  comparison).
+"""
+
+import pytest
+
+from repro.apps.profile import (
+    AppCategory,
+    AppProfile,
+    ContentProcess,
+    RenderStyle,
+)
+from repro.core.quality import quality_vs_baseline
+from repro.sim.session import SessionConfig, run_session
+
+
+def run(app, governor, duration=30.0, seed=1, **kwargs):
+    return run_session(SessionConfig(app=app, governor=governor,
+                                     duration_s=duration, seed=seed,
+                                     **kwargs))
+
+
+def burst_app(idle=2.0, active=45.0, submit=0.0, touch=0.4):
+    """An app whose content jumps on touch — the control stress case."""
+    return AppProfile(
+        name="burst-app", category=AppCategory.GENERAL,
+        idle_content_fps=idle, active_content_fps=active,
+        burst_duration_s=2.0,
+        content_process=ContentProcess.ANIMATION,
+        idle_submit_fps=submit, render_style=RenderStyle.SCENE,
+        touch_events_per_s=touch, scroll_fraction=0.0)
+
+
+class TestNaiveDeadlock:
+    """Section 3.2's negative result, reproduced end-to-end.
+
+    The deadlock needs two phases: an idle stretch that lets the
+    governor drop the rate, then sustained high content.  Once the
+    refresh is at 20 Hz, the naive rule can never measure more than
+    20 fps, so it latches low; the section table's headroom lets the
+    measured rate climb one section at a time back to 60 Hz.
+    """
+
+    def _idle_then_burst_app(self):
+        return AppProfile(
+            name="idle-burst", category=AppCategory.GENERAL,
+            idle_content_fps=1.0, active_content_fps=50.0,
+            burst_duration_s=8.0,
+            content_process=ContentProcess.ANIMATION,
+            idle_submit_fps=0.0, render_style=RenderStyle.SCENE,
+            touch_events_per_s=0.25, scroll_fraction=0.0)
+
+    def test_naive_latches_low_section_recovers(self):
+        app = self._idle_then_burst_app()
+        naive = run(app, "naive", duration=40.0)
+        section = run(app, "section", duration=40.0)
+        assert len(naive.touch_script) >= 2  # bursts really happen
+        # Naive: after the initial drop, it can never climb past the
+        # V-Sync clip (lowest rate >= measured 24 fps is 24 Hz).
+        first_touch = naive.touch_script.times[0]
+        assert naive.panel.rate_history.mean(first_touch, 40.0) < 27.0
+        # Section control escapes: it reaches the panel maximum during
+        # the bursts.
+        _, rates = section.panel.rate_history.transitions
+        assert rates.max() == 60.0
+        assert section.panel.rate_history.mean(first_touch, 40.0) > \
+            naive.panel.rate_history.mean(first_touch, 40.0)
+
+    def test_naive_destroys_quality_section_preserves_it(self):
+        app = self._idle_then_burst_app()
+        baseline = run(app, "fixed", duration=40.0)
+        naive = run(app, "naive", duration=40.0)
+        section = run(app, "section", duration=40.0)
+        q_naive = quality_vs_baseline(naive.mean_content_rate_fps,
+                                      baseline.mean_content_rate_fps)
+        q_section = quality_vs_baseline(section.mean_content_rate_fps,
+                                        baseline.mean_content_rate_fps)
+        assert q_naive < 0.7
+        assert q_section > 0.8
+        assert q_section > q_naive + 0.15
+
+
+class TestTouchBoostMechanism:
+    def test_boost_improves_quality_over_section_only(self):
+        app = burst_app()
+        baseline = run(app, "fixed", seed=3)
+        section = run(app, "section", seed=3)
+        boosted = run(app, "section+boost", seed=3)
+        q_section = quality_vs_baseline(section.mean_content_rate_fps,
+                                        baseline.mean_content_rate_fps)
+        q_boost = quality_vs_baseline(boosted.mean_content_rate_fps,
+                                      baseline.mean_content_rate_fps)
+        assert q_boost > q_section
+        assert q_boost > 0.9
+
+    def test_boost_spends_some_of_the_saving(self):
+        app = burst_app(submit=60.0)
+        baseline = run(app, "fixed", seed=3)
+        section = run(app, "section", seed=3)
+        boosted = run(app, "section+boost", seed=3)
+        p_base = baseline.power_report().mean_power_mw
+        p_section = section.power_report().mean_power_mw
+        p_boost = boosted.power_report().mean_power_mw
+        assert p_section < p_base
+        assert p_section <= p_boost <= p_base
+
+    def test_boost_fires_on_touches(self):
+        app = burst_app()
+        boosted = run(app, "section+boost", seed=3)
+        assert boosted.driver.policy.boosts >= len(
+            boosted.touch_script)
+
+
+class TestOracleBound:
+    def test_oracle_quality_at_least_section(self):
+        app = burst_app()
+        baseline = run(app, "fixed", seed=4)
+        section = run(app, "section", seed=4)
+        oracle = run(app, "oracle", seed=4)
+        q_section = quality_vs_baseline(section.mean_content_rate_fps,
+                                        baseline.mean_content_rate_fps)
+        q_oracle = quality_vs_baseline(oracle.mean_content_rate_fps,
+                                       baseline.mean_content_rate_fps)
+        assert q_oracle >= q_section - 0.02
+
+    def test_oracle_saves_power_vs_fixed(self):
+        app = burst_app(submit=60.0)
+        baseline = run(app, "fixed", seed=4)
+        oracle = run(app, "oracle", seed=4)
+        assert oracle.power_report().mean_power_mw < \
+            baseline.power_report().mean_power_mw
+
+
+class TestContentCentricVsInteractionCentric:
+    def test_e3_breaks_untouched_video_section_does_not(self):
+        """The content-centric argument: MX Player plays 24 fps video
+        with almost no touching.  E3 (interaction-driven) drops it to
+        the panel minimum and stutters; section control reads the
+        content rate and keeps 30 Hz."""
+        baseline = run("MX Player", "fixed", seed=6)
+        e3 = run("MX Player", "e3", seed=6)
+        section = run("MX Player", "section", seed=6)
+        q_e3 = quality_vs_baseline(e3.mean_content_rate_fps,
+                                   baseline.mean_content_rate_fps)
+        q_section = quality_vs_baseline(section.mean_content_rate_fps,
+                                        baseline.mean_content_rate_fps)
+        assert q_e3 < 0.9
+        assert q_section > 0.97
+        assert section.panel.rate_history.mean(5.0, 30.0) == \
+            pytest.approx(30.0, abs=2.0)
+
+
+class TestControlledComparison:
+    def test_workload_identical_across_all_governors(self):
+        app = burst_app()
+        streams = []
+        for governor in ("fixed", "section", "section+boost", "naive",
+                         "oracle", "e3"):
+            result = run(app, governor, duration=15.0, seed=9)
+            streams.append((
+                tuple(result.application.content_changes.times),
+                result.touch_script.times,
+            ))
+        assert all(s == streams[0] for s in streams)
+
+
+class TestPowerAccountingConsistency:
+    def test_trace_mean_equals_report_mean(self):
+        result = run("Jelly Splash", "section+boost", duration=20.0)
+        import numpy as np
+        _, power = result.power_trace(bin_width_s=1.0)
+        assert float(np.mean(power)) == pytest.approx(
+            result.power_report().mean_power_mw, rel=1e-6)
+
+    def test_energy_monotone_in_refresh_rate(self):
+        base = run("Facebook", "fixed", duration=15.0, seed=2)
+        governed = run("Facebook", "section", duration=15.0, seed=2)
+        assert governed.mean_refresh_rate_hz < base.mean_refresh_rate_hz
+        assert governed.power_report().energy_mj < \
+            base.power_report().energy_mj

@@ -1,0 +1,183 @@
+"""Tests for jank analysis, biased section tables, LCD calibration."""
+
+import pytest
+
+import repro
+from repro.analysis.jank import analyze_jank, session_jank
+from repro.core.section_table import SectionTable
+from repro.errors import ConfigurationError
+from repro.power.calibration import (
+    galaxy_s3_calibration,
+    lcd_phone_calibration,
+)
+
+GS3_RATES = (20.0, 24.0, 30.0, 40.0, 60.0)
+
+
+class TestAnalyzeJank:
+    def test_no_content_no_jank(self):
+        report = analyze_jank([], [1.0, 2.0], duration_s=10.0)
+        assert report.total_lost == 0
+        assert report.lost_fraction == 0.0
+        assert report.worst_run == 0
+
+    def test_every_content_displayed(self):
+        report = analyze_jank([1.0, 2.0, 3.0], [1.01, 2.01, 3.01],
+                              duration_s=10.0)
+        assert report.total_lost == 0
+        assert len(report.episodes) == 0
+
+    def test_coalesced_run_detected(self):
+        # Four content instants collapse into one displayed frame:
+        # 3 lost in a row -> one jank episode.
+        content = [1.0, 1.02, 1.04, 1.06]
+        displayed = [1.1]
+        report = analyze_jank(content, displayed, duration_s=10.0,
+                              min_run=3)
+        assert report.total_lost == 3
+        assert len(report.episodes) == 1
+        assert report.worst_run == 3
+
+    def test_scattered_drops_are_not_jank(self):
+        # One lost instant per gap: lost but never a visible freeze.
+        content = [1.0, 1.05, 2.0, 2.05, 3.0, 3.05]
+        displayed = [1.1, 2.1, 3.1]
+        report = analyze_jank(content, displayed, duration_s=10.0,
+                              min_run=3)
+        assert report.total_lost == 3
+        assert len(report.episodes) == 0
+
+    def test_content_after_last_display_counts(self):
+        content = [5.0, 5.02, 5.04, 5.06, 5.08]
+        displayed = [1.0]
+        report = analyze_jank(content, displayed, duration_s=10.0,
+                              min_run=3)
+        # All five are in the trailing gap; four beyond the first lost.
+        assert report.total_lost == 4
+        assert report.episodes[0][0] == 10.0
+
+    def test_episodes_per_minute(self):
+        report = analyze_jank([1.0, 1.01, 1.02, 1.03], [1.1],
+                              duration_s=30.0, min_run=3)
+        assert report.episodes_per_minute == pytest.approx(2.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            analyze_jank([], [], duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            analyze_jank([], [], duration_s=1.0, min_run=0)
+
+
+class TestSessionJank:
+    def test_boost_reduces_jank_episodes(self):
+        results = {}
+        for governor in ("section", "section+boost"):
+            result = repro.run_session(repro.SessionConfig(
+                app="Jelly Splash", governor=governor,
+                duration_s=40.0, seed=1))
+            results[governor] = session_jank(result)
+        assert results["section+boost"].total_lost <= \
+            results["section"].total_lost
+        assert len(results["section+boost"].episodes) <= \
+            len(results["section"].episodes)
+
+    def test_fixed_baseline_mostly_jank_free(self):
+        result = repro.run_session(repro.SessionConfig(
+            app="Jelly Splash", governor="fixed", duration_s=30.0,
+            seed=1))
+        report = session_jank(result)
+        # Animation content below 60 fps barely coalesces at 60 Hz.
+        assert report.lost_fraction < 0.05
+
+
+class TestBiasedSectionTable:
+    def test_bias_one_shifts_every_section_up(self):
+        table = SectionTable.from_rates(GS3_RATES).biased(1)
+        assert table.lookup(5.0) == 24.0     # was 20
+        assert table.lookup(15.0) == 30.0    # was 24
+        assert table.lookup(25.0) == 40.0    # was 30
+        assert table.lookup(30.0) == 60.0    # was 40
+        assert table.lookup(50.0) == 60.0
+
+    def test_top_sections_merge(self):
+        table = SectionTable.from_rates(GS3_RATES).biased(1)
+        # [27, 35) and [35, inf) both select 60 -> merged.
+        assert len(table.sections) == 4
+        assert table.sections[-1].low == 27.0
+
+    def test_bias_zero_is_identity(self):
+        table = SectionTable.from_rates(GS3_RATES)
+        assert table.biased(0) is table
+
+    def test_large_bias_collapses_to_max(self):
+        table = SectionTable.from_rates(GS3_RATES).biased(10)
+        assert len(table.sections) == 1
+        assert table.lookup(0.0) == 60.0
+
+    def test_invariants_preserved(self):
+        for steps in (1, 2, 3):
+            table = SectionTable.from_rates(GS3_RATES).biased(steps)
+            assert table.headroom_ok()
+            assert table.sections[0].low == 0.0
+            assert table.sections[-1].high == float("inf")
+
+    def test_negative_bias_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SectionTable.from_rates(GS3_RATES).biased(-1)
+
+    def test_biased_lookup_dominates_plain(self):
+        plain = SectionTable.from_rates(GS3_RATES)
+        biased = plain.biased(1)
+        for c10 in range(0, 600, 7):
+            c = c10 / 10.0
+            assert biased.lookup(c) >= plain.lookup(c)
+
+    def test_table_bias_session_option(self):
+        from repro.core import quality_vs_baseline
+        base = repro.run_session(repro.SessionConfig(
+            app="Jelly Splash", governor="fixed", duration_s=20.0,
+            seed=2))
+        plain = repro.run_session(repro.SessionConfig(
+            app="Jelly Splash", governor="section", duration_s=20.0,
+            seed=2))
+        smooth = repro.run_session(repro.SessionConfig(
+            app="Jelly Splash", governor="section", duration_s=20.0,
+            seed=2, table_bias=1))
+        # Smooth mode runs a higher refresh and recovers quality...
+        assert smooth.mean_refresh_rate_hz > plain.mean_refresh_rate_hz
+        q_plain = quality_vs_baseline(plain.mean_content_rate_fps,
+                                      base.mean_content_rate_fps)
+        q_smooth = quality_vs_baseline(smooth.mean_content_rate_fps,
+                                       base.mean_content_rate_fps)
+        assert q_smooth >= q_plain
+        # ... at a power cost (still cheaper than fixed 60 Hz).
+        p_base = base.power_report().mean_power_mw
+        p_plain = plain.power_report().mean_power_mw
+        p_smooth = smooth.power_report().mean_power_mw
+        assert p_plain <= p_smooth <= p_base
+
+    def test_negative_table_bias_rejected(self):
+        with pytest.raises(ConfigurationError):
+            repro.SessionConfig(app="Facebook", table_bias=-1)
+
+
+class TestLcdCalibration:
+    def test_lcd_saves_less_than_amoled(self):
+        result_base = repro.run_session(repro.SessionConfig(
+            app="Facebook", governor="fixed", duration_s=15.0, seed=1))
+        result_gov = repro.run_session(repro.SessionConfig(
+            app="Facebook", governor="section", duration_s=15.0,
+            seed=1))
+        for name, cal in (("amoled", galaxy_s3_calibration()),
+                          ("lcd", lcd_phone_calibration())):
+            model = repro.PowerModel(cal)
+            saved = (result_base.power_report(model).mean_power_mw -
+                     result_gov.power_report(model).mean_power_mw)
+            if name == "amoled":
+                amoled_saved = saved
+            else:
+                assert saved < amoled_saved
+
+    def test_lcd_base_floor_higher(self):
+        assert lcd_phone_calibration().device_base_mw > \
+            galaxy_s3_calibration().device_base_mw

@@ -1,0 +1,113 @@
+"""Tests for the ContentCentricManager facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.governor import SectionBasedGovernor, TouchBoostGovernor
+from repro.core.manager import ContentCentricManager, ManagerConfig
+from repro.display.panel import DisplayPanel
+from repro.display.presets import GALAXY_S3_PANEL
+from repro.errors import ConfigurationError
+from repro.graphics.framebuffer import Framebuffer
+from repro.sim.engine import Simulator
+
+
+def make_stack():
+    sim = Simulator()
+    panel = DisplayPanel(sim, GALAXY_S3_PANEL)
+    fb = Framebuffer(90, 160)
+    return sim, panel, fb
+
+
+class TestConstruction:
+    def test_default_policy_is_boosted_section(self):
+        sim, panel, fb = make_stack()
+        mgr = ContentCentricManager(sim, panel, fb)
+        assert isinstance(mgr.policy, TouchBoostGovernor)
+        assert isinstance(mgr.policy.inner, SectionBasedGovernor)
+        assert mgr.policy.boost_rate_hz == 60.0
+
+    def test_boost_disabled(self):
+        sim, panel, fb = make_stack()
+        mgr = ContentCentricManager(
+            sim, panel, fb, ManagerConfig(touch_boost=False))
+        assert isinstance(mgr.policy, SectionBasedGovernor)
+
+    def test_table_built_for_panel(self):
+        sim, panel, fb = make_stack()
+        mgr = ContentCentricManager(sim, panel, fb)
+        assert mgr.table.refresh_rates_hz == \
+            GALAXY_S3_PANEL.refresh_rates_hz
+
+    def test_custom_policy_respected(self):
+        sim, panel, fb = make_stack()
+        custom = SectionBasedGovernor.__new__(SectionBasedGovernor)
+        custom.name = "custom"
+        custom.select_rate = lambda now: 30.0
+        custom.on_touch = lambda t: None
+        mgr = ContentCentricManager(sim, panel, fb, policy=custom)
+        assert mgr.governor_name == "custom"
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ManagerConfig(decision_period_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ManagerConfig(boost_hold_s=-1.0)
+
+
+class TestLifecycle:
+    def test_idle_session_drops_to_minimum(self):
+        sim, panel, fb = make_stack()
+        mgr = ContentCentricManager(sim, panel, fb)
+        panel.start()
+        mgr.start()
+        sim.run_until(2.0)
+        assert panel.refresh_rate_hz == 20.0
+
+    def test_touch_boosts_immediately(self):
+        sim, panel, fb = make_stack()
+        mgr = ContentCentricManager(sim, panel, fb)
+        panel.start()
+        mgr.start()
+        sim.run_until(2.0)
+        mgr.on_touch(sim.now)
+        assert panel.target_rate_hz == 60.0
+
+    def test_double_start_rejected(self):
+        sim, panel, fb = make_stack()
+        mgr = ContentCentricManager(sim, panel, fb)
+        mgr.start()
+        with pytest.raises(ConfigurationError):
+            mgr.start()
+
+    def test_stop_then_idempotent(self):
+        sim, panel, fb = make_stack()
+        mgr = ContentCentricManager(sim, panel, fb)
+        mgr.start()
+        mgr.stop()
+        mgr.stop()  # no-op
+
+    def test_content_rate_passthrough(self):
+        sim, panel, fb = make_stack()
+        mgr = ContentCentricManager(sim, panel, fb)
+        fb.write(np.full(fb.shape, 9, dtype=np.uint8), 0.5)
+        assert mgr.content_rate(1.0) == pytest.approx(1.0)
+
+    def test_meter_tracks_framebuffer_under_vsync(self):
+        sim, panel, fb = make_stack()
+        mgr = ContentCentricManager(sim, panel, fb)
+        panel.start()
+        mgr.start()
+        # Write a changing frame at every vsync for one second.
+        counter = [0]
+
+        def on_vsync(time):
+            counter[0] += 1
+            fb.write(np.full(fb.shape, counter[0] % 256, dtype=np.uint8),
+                     time)
+
+        panel.add_vsync_listener(on_vsync)
+        sim.run_until(3.0)
+        # Content rate ~ refresh rate; governor should have raised the
+        # rate to the maximum section.
+        assert panel.refresh_rate_hz == 60.0

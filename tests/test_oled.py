@@ -1,0 +1,138 @@
+"""Tests for the OLED emission model and tracker."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphics.framebuffer import Framebuffer
+from repro.power.oled import OledEmissionTracker, OledModel
+
+
+def frame(value, shape=(12, 10, 3)):
+    return np.full(shape, value, dtype=np.uint8)
+
+
+class TestOledModel:
+    def test_black_is_the_floor(self):
+        model = OledModel()
+        assert model.frame_power_mw(frame(0)) == pytest.approx(
+            model.full_black_mw)
+
+    def test_white_is_the_ceiling(self):
+        model = OledModel()
+        assert model.frame_power_mw(frame(255)) == pytest.approx(
+            model.full_white_mw)
+
+    def test_power_monotone_in_brightness(self):
+        model = OledModel()
+        powers = [model.frame_power_mw(frame(v))
+                  for v in (0, 64, 128, 192, 255)]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_blue_costs_more_than_red(self):
+        model = OledModel()
+        red = frame(0)
+        red[:, :, 0] = 255
+        blue = frame(0)
+        blue[:, :, 2] = 255
+        assert model.frame_power_mw(blue) > model.frame_power_mw(red)
+
+    def test_gamma_makes_midtones_cheap(self):
+        # At gamma 2.2, a 50 % grey emits ~22 % of full luminance.
+        model = OledModel()
+        mid = model.frame_power_mw(frame(128)) - model.full_black_mw
+        full = model.full_white_mw - model.full_black_mw
+        assert 0.15 < mid / full < 0.3
+
+    def test_resolution_independent(self):
+        model = OledModel()
+        small = model.frame_power_mw(frame(200, shape=(8, 8, 3)))
+        large = model.frame_power_mw(frame(200, shape=(64, 64, 3)))
+        assert small == pytest.approx(large)
+
+    def test_half_white_half_black_is_half_power(self):
+        model = OledModel(base_mw=0.0)
+        half = frame(0)
+        half[:6] = 255
+        assert model.frame_power_mw(half) == pytest.approx(
+            model.full_white_mw / 2.0)
+
+    def test_invalid_frame_rejected(self):
+        model = OledModel()
+        with pytest.raises(ConfigurationError):
+            model.frame_power_mw(np.zeros((10, 10), dtype=np.uint8))
+
+    def test_invalid_coefficients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OledModel(full_channel_mw=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            OledModel(gamma=0.0)
+
+
+class TestOledEmissionTracker:
+    def test_tracks_frame_updates(self):
+        fb = Framebuffer(10, 12)
+        tracker = OledEmissionTracker(fb)
+        assert tracker.history.current == pytest.approx(
+            tracker.model.full_black_mw)
+        fb.write(frame(255, fb.shape), 1.0)
+        assert tracker.history.current == pytest.approx(
+            tracker.model.full_white_mw)
+        assert tracker.evaluations == 1
+
+    def test_emission_holds_between_updates(self):
+        fb = Framebuffer(10, 12)
+        tracker = OledEmissionTracker(fb)
+        fb.write(frame(255, fb.shape), 1.0)
+        # Energy over [0, 3]: 1 s black + 2 s white.
+        expected = (tracker.model.full_black_mw * 1.0 +
+                    tracker.model.full_white_mw * 2.0)
+        assert tracker.energy_mj(0.0, 3.0) == pytest.approx(expected)
+
+    def test_mean_emission(self):
+        fb = Framebuffer(10, 12)
+        tracker = OledEmissionTracker(fb)
+        fb.write(frame(255, fb.shape), 1.0)
+        assert tracker.mean_emission_mw(1.0, 2.0) == pytest.approx(
+            tracker.model.full_white_mw)
+
+    def test_detach(self):
+        fb = Framebuffer(10, 12)
+        tracker = OledEmissionTracker(fb)
+        tracker.detach()
+        fb.write(frame(255, fb.shape), 1.0)
+        assert tracker.evaluations == 0
+
+
+class TestSessionIntegration:
+    def test_emission_component_in_power_report(self):
+        import repro
+        result = repro.run_session(repro.SessionConfig(
+            app="Facebook", governor="section+boost", duration_s=8.0,
+            seed=1, track_oled=True))
+        components = result.power_report().component_power_mw()
+        assert components["emission"] > 0.0
+
+    def test_emission_absent_without_tracking(self):
+        import repro
+        result = repro.run_session(repro.SessionConfig(
+            app="Facebook", governor="section+boost", duration_s=8.0,
+            seed=1))
+        components = result.power_report().component_power_mw()
+        assert components["emission"] == 0.0
+        assert result.oled_tracker is None
+
+    def test_refresh_control_does_not_change_emission(self):
+        """Orthogonality: emission depends on displayed content, not
+        the refresh rate — governed and fixed runs of the same workload
+        emit (nearly) the same."""
+        import repro
+        fixed = repro.run_session(repro.SessionConfig(
+            app="Cash Slide", governor="fixed", duration_s=20.0,
+            seed=4, track_oled=True))
+        governed = repro.run_session(repro.SessionConfig(
+            app="Cash Slide", governor="section+boost", duration_s=20.0,
+            seed=4, track_oled=True))
+        e_fixed = fixed.oled_tracker.mean_emission_mw(0.0, 20.0)
+        e_governed = governed.oled_tracker.mean_emission_mw(0.0, 20.0)
+        assert e_governed == pytest.approx(e_fixed, rel=0.15)

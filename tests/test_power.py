@@ -1,0 +1,196 @@
+"""Tests for the power model, calibration, and Monsoon emulation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.catalog import app_profile
+from repro.errors import ConfigurationError
+from repro.power.calibration import PowerCalibration, galaxy_s3_calibration
+from repro.power.meter import MonsoonMeter
+from repro.power.model import PowerModel
+from repro.sim.tracing import EventLog, StepSeries
+
+
+def make_logs(frame_times, render_times=None):
+    compositions = EventLog("compositions")
+    for t in frame_times:
+        compositions.append(t)
+    renders = EventLog("renders")
+    for t in (render_times if render_times is not None else frame_times):
+        renders.append(t)
+    return compositions, renders
+
+
+class TestCalibration:
+    def test_defaults(self):
+        cal = galaxy_s3_calibration()
+        assert cal.panel_mw_per_hz == pytest.approx(3.5)
+        assert cal.device_base_mw > 0
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerCalibration(panel_mw_per_hz=-1.0)
+
+
+class TestPowerModel:
+    def setup_method(self):
+        self.model = PowerModel()
+        self.profile = app_profile("Facebook")
+
+    def test_base_plus_panel_for_idle_session(self):
+        rate = StepSeries(initial=60.0)
+        compositions, renders = make_logs([])
+        report = self.model.evaluate(self.profile, rate, compositions,
+                                     renders, duration_s=10.0)
+        cal = self.model.calibration
+        expected = (cal.device_base_mw + self.profile.cpu_base_mw +
+                    cal.panel_mw_per_hz * 60.0)
+        assert report.mean_power_mw == pytest.approx(expected)
+
+    def test_panel_component_scales_with_rate(self):
+        compositions, renders = make_logs([])
+        r60 = self.model.evaluate(self.profile, StepSeries(initial=60.0),
+                                  compositions, renders, 10.0)
+        r20 = self.model.evaluate(self.profile, StepSeries(initial=20.0),
+                                  compositions, renders, 10.0)
+        saved = r60.mean_power_mw - r20.mean_power_mw
+        assert saved == pytest.approx(3.5 * 40.0)
+
+    def test_compose_and_render_energy_per_frame(self):
+        rate = StepSeries(initial=60.0)
+        compositions, renders = make_logs([0.1 * i for i in range(1, 101)])
+        report = self.model.evaluate(self.profile, rate, compositions,
+                                     renders, duration_s=10.0)
+        cal = self.model.calibration
+        assert report.breakdown.compose_mj == pytest.approx(
+            100 * cal.compose_mj_per_frame)
+        assert report.breakdown.render_mj == pytest.approx(
+            100 * self.profile.render_cost_mj)
+
+    def test_meter_overhead_only_when_active(self):
+        rate = StepSeries(initial=60.0)
+        compositions, renders = make_logs([0.5, 1.5])
+        passive = self.model.evaluate(self.profile, rate, compositions,
+                                      renders, 10.0,
+                                      metering_active=False)
+        active = self.model.evaluate(self.profile, rate, compositions,
+                                     renders, 10.0, metering_active=True)
+        assert passive.breakdown.meter_mj == 0.0
+        assert active.breakdown.meter_mj > 0.0
+        assert active.energy_mj > passive.energy_mj
+
+    def test_rate_switch_integrated_exactly(self):
+        rate = StepSeries(initial=60.0)
+        rate.set(5.0, 20.0)
+        compositions, renders = make_logs([])
+        report = self.model.evaluate(self.profile, rate, compositions,
+                                     renders, 10.0)
+        panel_mj = report.breakdown.panel_mj
+        assert panel_mj == pytest.approx(3.5 * (60.0 * 5 + 20.0 * 5))
+
+    def test_component_power_sums_to_total(self):
+        rate = StepSeries(initial=40.0)
+        compositions, renders = make_logs([1.0, 2.0, 3.0])
+        report = self.model.evaluate(self.profile, rate, compositions,
+                                     renders, 10.0, metering_active=True)
+        components = report.component_power_mw()
+        assert sum(components.values()) == pytest.approx(
+            report.mean_power_mw)
+
+    def test_games_cost_more_than_general(self):
+        rate = StepSeries(initial=60.0)
+        frames = [i / 60.0 for i in range(1, 601)]
+        compositions, renders = make_logs(frames)
+        general = self.model.evaluate(app_profile("Facebook"), rate,
+                                      compositions, renders, 10.0)
+        game = self.model.evaluate(app_profile("Jelly Splash"), rate,
+                                   compositions, renders, 10.0)
+        assert game.mean_power_mw > general.mean_power_mw
+
+    def test_invalid_duration_rejected(self):
+        rate = StepSeries(initial=60.0)
+        compositions, renders = make_logs([])
+        with pytest.raises(ConfigurationError):
+            self.model.evaluate(self.profile, rate, compositions,
+                                renders, 0.0)
+
+
+class TestPowerTrace:
+    def test_trace_shape_and_mean_consistency(self):
+        model = PowerModel()
+        profile = app_profile("Facebook")
+        rate = StepSeries(initial=60.0)
+        rate.set(5.0, 20.0)
+        compositions, renders = make_logs(
+            [0.5 + i for i in range(10)])
+        centers, power = model.power_trace(profile, rate, compositions,
+                                           renders, duration_s=10.0)
+        assert len(centers) == 10
+        report = model.evaluate(profile, rate, compositions, renders,
+                                10.0)
+        assert float(np.mean(power)) == pytest.approx(
+            report.mean_power_mw, rel=1e-6)
+
+    def test_trace_reflects_rate_drop(self):
+        model = PowerModel()
+        profile = app_profile("Facebook")
+        rate = StepSeries(initial=60.0)
+        rate.set(5.0, 20.0)
+        compositions, renders = make_logs([])
+        _, power = model.power_trace(profile, rate, compositions,
+                                     renders, 10.0)
+        assert power[0] > power[-1]
+        assert power[0] - power[-1] == pytest.approx(3.5 * 40.0)
+
+    def test_bin_width_larger_than_duration_rejected(self):
+        model = PowerModel()
+        profile = app_profile("Facebook")
+        compositions, renders = make_logs([])
+        with pytest.raises(ConfigurationError):
+            model.power_trace(profile, StepSeries(initial=60.0),
+                              compositions, renders, 5.0,
+                              bin_width_s=10.0)
+
+
+class TestMonsoonMeter:
+    def test_noise_is_seeded(self):
+        times = np.arange(10.0)
+        power = np.full(10, 500.0)
+        a = MonsoonMeter(noise_mw=5.0, seed=1).measure_trace(times, power)
+        b = MonsoonMeter(noise_mw=5.0, seed=1).measure_trace(times, power)
+        assert np.array_equal(a[1], b[1])
+
+    def test_noise_statistics(self):
+        times = np.arange(10_000.0)
+        power = np.full(10_000, 500.0)
+        _, noisy = MonsoonMeter(noise_mw=5.0, seed=2).measure_trace(
+            times, power)
+        assert abs(noisy.mean() - 500.0) < 1.0
+        assert 4.0 < noisy.std() < 6.0
+
+    def test_never_negative(self):
+        times = np.arange(1000.0)
+        power = np.full(1000, 1.0)
+        _, noisy = MonsoonMeter(noise_mw=50.0, seed=3).measure_trace(
+            times, power)
+        assert (noisy >= 0.0).all()
+
+    def test_zero_noise_is_exact(self):
+        times = np.arange(5.0)
+        power = np.linspace(100, 200, 5)
+        _, noisy = MonsoonMeter(noise_mw=0.0).measure_trace(times, power)
+        assert np.array_equal(noisy, power)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MonsoonMeter().measure_trace(np.arange(3.0), np.arange(4.0))
+
+    def test_measure_mean_averages_down_noise(self):
+        meter = MonsoonMeter(noise_mw=10.0, seed=4)
+        readings = [meter.measure_mean(500.0, samples=10_000)
+                    for _ in range(100)]
+        assert abs(np.mean(readings) - 500.0) < 0.5
+
+    def test_measure_mean_invalid_samples(self):
+        with pytest.raises(ValueError):
+            MonsoonMeter().measure_mean(500.0, samples=0)

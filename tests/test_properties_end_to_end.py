@@ -1,0 +1,134 @@
+"""Property-based tests on full-pipeline invariants.
+
+Short sessions (4-8 s) under hypothesis-generated profiles and
+configurations.  These are the invariants the paper's argument rests
+on, checked across a space of workloads rather than at hand-picked
+points.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.profile import (
+    AppCategory,
+    AppProfile,
+    ContentProcess,
+    RenderStyle,
+)
+from repro.power.calibration import PowerCalibration
+from repro.power.model import PowerModel
+from repro.sim.session import SessionConfig, run_session
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+profiles = st.builds(
+    AppProfile,
+    name=st.just("prop-app"),
+    category=st.sampled_from(list(AppCategory)),
+    idle_content_fps=st.floats(min_value=0.0, max_value=20.0),
+    active_content_fps=st.floats(min_value=20.0, max_value=60.0),
+    burst_duration_s=st.floats(min_value=0.5, max_value=3.0),
+    content_process=st.sampled_from(list(ContentProcess)),
+    idle_submit_fps=st.sampled_from([0.0, 10.0, 30.0, 60.0]),
+    render_style=st.sampled_from([RenderStyle.SCENE,
+                                  RenderStyle.SCROLL,
+                                  RenderStyle.VIDEO]),
+    render_cost_mj=st.floats(min_value=0.5, max_value=6.0),
+    cpu_base_mw=st.floats(min_value=50.0, max_value=400.0),
+    touch_events_per_s=st.floats(min_value=0.0, max_value=0.5),
+    scroll_fraction=st.floats(min_value=0.0, max_value=0.6),
+)
+
+seeds = st.integers(min_value=0, max_value=2**16)
+
+#: Power model with zero metering overhead, so the governed-never-
+#: costs-more property is exact (the overhead is the one legitimate
+#: way a governed run can exceed the baseline by epsilon).
+NO_OVERHEAD = PowerModel(PowerCalibration(
+    meter_overhead_mj_per_frame=0.0))
+
+DURATION = 6.0
+
+
+def run(profile, governor, seed):
+    return run_session(SessionConfig(
+        app=profile, governor=governor, duration_s=DURATION,
+        seed=seed))
+
+
+class TestGovernedNeverCostsMore:
+    @given(profile=profiles, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_section_power_at_most_fixed(self, profile, seed):
+        base = run(profile, "fixed", seed)
+        governed = run(profile, "section", seed)
+        p_base = base.power_report(NO_OVERHEAD).mean_power_mw
+        p_gov = governed.power_report(NO_OVERHEAD).mean_power_mw
+        assert p_gov <= p_base + 1e-6
+
+
+class TestRefreshAlwaysAPanelLevel:
+    @given(profile=profiles, seed=seeds,
+           governor=st.sampled_from(["section", "section+boost",
+                                     "naive", "e3"]))
+    @settings(max_examples=15, deadline=None)
+    def test_every_transition_is_a_supported_rate(self, profile, seed,
+                                                  governor):
+        result = run(profile, governor, seed)
+        levels = set(result.panel.spec.refresh_rates_hz)
+        _, rates = result.panel.rate_history.transitions
+        assert set(rates.tolist()) <= levels
+
+
+class TestMeterNeverInvents:
+    @given(profile=profiles, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_measured_at_most_displayed(self, profile, seed):
+        """The grid meter can miss changes, never invent them: its
+        meaningful count is bounded by the compositor's full-buffer
+        ground truth."""
+        result = run(profile, "section+boost", seed)
+        assert result.meter.total_meaningful <= \
+            len(result.meaningful_compositions)
+
+    @given(profile=profiles, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_meaningful_at_most_frames(self, profile, seed):
+        result = run(profile, "fixed", seed)
+        assert result.meter.total_meaningful <= \
+            result.meter.total_frames
+
+
+class TestWorkloadInvariance:
+    @given(profile=profiles, seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_content_stream_identical_across_governors(self, profile,
+                                                       seed):
+        streams = []
+        for governor in ("fixed", "section+boost", "naive"):
+            result = run(profile, governor, seed)
+            streams.append(tuple(
+                result.application.content_changes.times))
+        assert streams[0] == streams[1] == streams[2]
+
+
+class TestEnergyAccounting:
+    @given(profile=profiles, seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_trace_mean_matches_report(self, profile, seed):
+        result = run(profile, "section", seed)
+        import numpy as np
+        _, power = result.power_trace(bin_width_s=1.0)
+        assert float(np.mean(power)) == \
+            __import__("pytest").approx(
+                result.power_report().mean_power_mw, rel=1e-6)
+
+    @given(profile=profiles, seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_components_non_negative(self, profile, seed):
+        result = run(profile, "section+boost", seed)
+        for name, value in \
+                result.power_report().component_power_mw().items():
+            assert value >= 0.0, name

@@ -1,0 +1,71 @@
+"""Property-based tests for multi-app scenarios."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.apps.catalog import all_app_names
+from repro.sim.scenario import (
+    ScenarioConfig,
+    ScenarioSegment,
+    run_scenario,
+)
+
+app_names = st.sampled_from(all_app_names())
+
+segments = st.lists(
+    st.builds(ScenarioSegment,
+              app=app_names,
+              duration_s=st.floats(min_value=3.0, max_value=8.0)),
+    min_size=1, max_size=3,
+)
+
+seeds = st.integers(min_value=0, max_value=2**12)
+
+
+class TestScenarioProperties:
+    @given(segs=segments, seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_segment_energies_partition_total(self, segs, seed):
+        scenario = run_scenario(ScenarioConfig(
+            segments=tuple(segs), governor="section+boost", seed=seed))
+        total = scenario.power_report().energy_mj
+        summed = sum(scenario.segment_power(s).energy_mj
+                     for s in scenario.segments)
+        assert summed == pytest.approx(total, rel=1e-9)
+
+    @given(segs=segments, seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_every_segment_confined_and_started(self, segs, seed):
+        scenario = run_scenario(ScenarioConfig(
+            segments=tuple(segs), governor="section", seed=seed))
+        for segment in scenario.segments:
+            assert segment.application.started
+            times = segment.application.submissions.times
+            if len(times):
+                assert times.min() >= segment.start_s - 1e-9
+                assert times.max() <= segment.end_s + 1e-6
+
+    @given(segs=segments, seed=seeds)
+    @settings(max_examples=6, deadline=None)
+    def test_governed_scenario_never_costs_more(self, segs, seed):
+        from repro.power.calibration import PowerCalibration
+        from repro.power.model import PowerModel
+        no_overhead = PowerModel(PowerCalibration(
+            meter_overhead_mj_per_frame=0.0))
+        base = run_scenario(ScenarioConfig(
+            segments=tuple(segs), governor="fixed", seed=seed))
+        governed = run_scenario(ScenarioConfig(
+            segments=tuple(segs), governor="section", seed=seed))
+        assert governed.power_report(no_overhead).energy_mj <= \
+            base.power_report(no_overhead).energy_mj + 1e-6
+
+    @given(segs=segments, seed=seeds)
+    @settings(max_examples=6, deadline=None)
+    def test_refresh_rates_are_panel_levels(self, segs, seed):
+        scenario = run_scenario(ScenarioConfig(
+            segments=tuple(segs), governor="section+boost", seed=seed))
+        levels = set(scenario.panel.spec.refresh_rates_hz)
+        _, rates = scenario.panel.rate_history.transitions
+        assert set(rates.tolist()) <= levels

@@ -1,0 +1,129 @@
+"""Property-based tests for the simulation substrate and traces."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.tracing import EventLog, StepSeries
+
+times = st.lists(st.floats(min_value=0.0, max_value=100.0,
+                           allow_nan=False),
+                 min_size=0, max_size=50)
+
+transitions = st.lists(
+    st.tuples(st.floats(min_value=0.001, max_value=100.0,
+                        allow_nan=False),
+              st.floats(min_value=0.0, max_value=1000.0,
+                        allow_nan=False)),
+    min_size=0, max_size=20,
+)
+
+
+class TestEngineProperties:
+    @given(schedule=st.lists(st.floats(min_value=0.0, max_value=10.0,
+                                       allow_nan=False),
+                             min_size=0, max_size=40))
+    def test_events_fire_in_nondecreasing_time_order(self, schedule):
+        sim = Simulator()
+        fired = []
+        for t in schedule:
+            sim.call_at(t, lambda s: fired.append(s.now))
+        sim.run_until(20.0)
+        assert fired == sorted(fired)
+        assert len(fired) == len(schedule)
+
+    @given(schedule=st.lists(st.floats(min_value=0.0, max_value=10.0,
+                                       allow_nan=False),
+                             min_size=1, max_size=40),
+           horizon=st.floats(min_value=0.0, max_value=10.0,
+                             allow_nan=False))
+    def test_run_until_fires_exactly_events_within_horizon(
+            self, schedule, horizon):
+        sim = Simulator()
+        fired = []
+        for t in schedule:
+            sim.call_at(t, lambda s: fired.append(s.now))
+        sim.run_until(horizon)
+        assert len(fired) == sum(1 for t in schedule if t <= horizon)
+        assert sim.now == horizon
+
+
+class TestEventLogProperties:
+    @given(ts=times)
+    def test_windowed_counts_partition(self, ts):
+        log = EventLog()
+        for t in sorted(ts):
+            log.append(t)
+        # Partition (0, 100] into 10 windows; events at exactly 0 are
+        # excluded by the half-open convention, so count them apart.
+        at_zero = sum(1 for t in ts if t == 0.0)
+        total = sum(log.count_in(i * 10.0, (i + 1) * 10.0)
+                    for i in range(10))
+        assert total + at_zero == len(ts)
+
+    @given(ts=times, start=st.floats(min_value=0.0, max_value=100.0),
+           width=st.floats(min_value=0.1, max_value=50.0))
+    def test_count_never_negative_and_bounded(self, ts, start, width):
+        log = EventLog()
+        for t in sorted(ts):
+            log.append(t)
+        count = log.count_in(start, start + width)
+        assert 0 <= count <= len(ts)
+
+
+class TestStepSeriesProperties:
+    @given(trans=transitions, initial=st.floats(min_value=0.0,
+                                                max_value=1000.0))
+    def test_integral_additivity(self, trans, initial):
+        s = StepSeries(initial=initial)
+        for dt, value in trans:
+            s.set(s.transitions[0][-1] + dt, value)
+        end = s.transitions[0][-1] + 1.0
+        whole = s.integrate(0.0, end)
+        mid = end / 2.0
+        split = s.integrate(0.0, mid) + s.integrate(mid, end)
+        assert np.isclose(whole, split, rtol=1e-9, atol=1e-6)
+
+    @given(trans=transitions, initial=st.floats(min_value=0.0,
+                                                max_value=1000.0))
+    def test_mean_bounded_by_extremes(self, trans, initial):
+        s = StepSeries(initial=initial)
+        values = [initial]
+        for dt, value in trans:
+            s.set(s.transitions[0][-1] + dt, value)
+            values.append(value)
+        end = s.transitions[0][-1] + 1.0
+        mean = s.mean(0.0, end)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+    @given(trans=transitions, initial=st.floats(min_value=0.0,
+                                                max_value=1000.0),
+           query=st.floats(min_value=0.0, max_value=200.0))
+    def test_value_at_matches_last_transition_before(self, trans,
+                                                     initial, query):
+        s = StepSeries(initial=initial)
+        applied = [(0.0, initial)]
+        for dt, value in trans:
+            t = applied[-1][0] + dt
+            s.set(t, value)
+            applied.append((t, value))
+        expected = [v for t, v in applied if t <= query][-1] \
+            if query >= 0.0 else initial
+        assert s.value_at(query) == expected
+
+
+class TestMonkeyProperties:
+    @given(seed=st.integers(0, 2**32 - 1),
+           rate=st.floats(min_value=0.05, max_value=3.0),
+           duration=st.floats(min_value=5.0, max_value=120.0))
+    @settings(max_examples=30)
+    def test_scripts_well_formed(self, seed, rate, duration):
+        from repro.inputs.monkey import MonkeyConfig, MonkeyScriptGenerator
+        cfg = MonkeyConfig(duration_s=duration, events_per_s=rate)
+        script = MonkeyScriptGenerator(cfg).generate(seed)
+        ts = script.times
+        assert all(0.0 <= t < duration for t in ts)
+        assert list(ts) == sorted(ts)
+        for e in script.scrolls():
+            assert e.time + e.duration_s <= duration + 1e-6

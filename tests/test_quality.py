@@ -1,0 +1,112 @@
+"""Tests for display-quality analysis."""
+
+import pytest
+
+from repro.core.quality import (
+    QualityReport,
+    compute_quality,
+    quality_vs_baseline,
+)
+from repro.errors import ConfigurationError
+from repro.sim.tracing import EventLog
+
+
+def log_of(times, name="log"):
+    log = EventLog(name)
+    for t in times:
+        log.append(t)
+    return log
+
+
+class TestQualityReport:
+    def test_perfect_quality(self):
+        r = QualityReport(duration_s=10.0, actual_content_fps=5.0,
+                          displayed_content_fps=5.0,
+                          measured_content_fps=5.0)
+        assert r.display_quality == 1.0
+        assert r.dropped_fps == 0.0
+        assert r.metering_error == 0.0
+
+    def test_dropped_frames(self):
+        r = QualityReport(duration_s=10.0, actual_content_fps=10.0,
+                          displayed_content_fps=7.0,
+                          measured_content_fps=7.0)
+        assert r.display_quality == pytest.approx(0.7)
+        assert r.dropped_fps == pytest.approx(3.0)
+
+    def test_no_content_is_perfect(self):
+        r = QualityReport(duration_s=10.0, actual_content_fps=0.0,
+                          displayed_content_fps=0.0,
+                          measured_content_fps=0.0)
+        assert r.display_quality == 1.0
+        assert r.measured_quality == 1.0
+
+    def test_quality_clamped_at_one(self):
+        r = QualityReport(duration_s=10.0, actual_content_fps=5.0,
+                          displayed_content_fps=6.0,
+                          measured_content_fps=6.0)
+        assert r.display_quality == 1.0
+
+    def test_metering_error(self):
+        r = QualityReport(duration_s=10.0, actual_content_fps=10.0,
+                          displayed_content_fps=10.0,
+                          measured_content_fps=9.0)
+        assert r.metering_error == pytest.approx(0.1)
+
+    def test_metering_error_zero_displayed(self):
+        r = QualityReport(duration_s=10.0, actual_content_fps=1.0,
+                          displayed_content_fps=0.0,
+                          measured_content_fps=1.0)
+        assert r.metering_error == float("inf")
+
+
+class TestComputeQuality:
+    def test_rates_from_logs(self):
+        actual = log_of([1.0, 2.0, 3.0, 4.0])
+        displayed = log_of([1.01, 2.01, 3.01])
+        measured = log_of([1.01, 2.01, 3.01])
+        r = compute_quality(actual, displayed, measured, duration_s=10.0)
+        assert r.actual_content_fps == pytest.approx(0.4)
+        assert r.displayed_content_fps == pytest.approx(0.3)
+        assert r.display_quality == pytest.approx(0.75)
+
+    def test_bootstrap_frame_excluded(self):
+        # A displayed frame before any content exists is the cold
+        # framebuffer's first write, not app content.
+        actual = log_of([5.0])
+        displayed = log_of([0.1, 5.01])
+        measured = log_of([0.1, 5.01])
+        r = compute_quality(actual, displayed, measured, duration_s=10.0)
+        assert r.displayed_content_fps == pytest.approx(0.1)
+        assert r.display_quality == 1.0
+
+    def test_zero_content_session(self):
+        actual = log_of([])
+        displayed = log_of([0.1])
+        measured = log_of([0.1])
+        r = compute_quality(actual, displayed, measured, duration_s=10.0)
+        assert r.displayed_content_fps == 0.0
+        assert r.display_quality == 1.0
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compute_quality(log_of([]), log_of([]), log_of([]),
+                            duration_s=0.0)
+
+
+class TestQualityVsBaseline:
+    def test_equal_rates_is_one(self):
+        assert quality_vs_baseline(10.0, 10.0) == 1.0
+
+    def test_ratio(self):
+        assert quality_vs_baseline(7.4, 10.0) == pytest.approx(0.74)
+
+    def test_clamped_at_one(self):
+        assert quality_vs_baseline(11.0, 10.0) == 1.0
+
+    def test_zero_baseline_is_perfect(self):
+        assert quality_vs_baseline(0.0, 0.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quality_vs_baseline(-1.0, 10.0)

@@ -1,0 +1,105 @@
+"""Repository hygiene: everything compiles, examples are wired right.
+
+Cheap whole-repo guards: every Python file (library, tests,
+benchmarks, examples) byte-compiles; every example is an executable
+script with a ``main``; the public API surface in ``__all__`` actually
+resolves; the benchmark files referenced by the experiment registry
+exist on disk.
+"""
+
+import pathlib
+import py_compile
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+ALL_PY = sorted(
+    p for d in ("src", "tests", "benchmarks", "examples")
+    for p in (REPO_ROOT / d).rglob("*.py"))
+
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("path", ALL_PY,
+                             ids=[str(p.relative_to(REPO_ROOT))
+                                  for p in ALL_PY])
+    def test_file_compiles(self, path, tmp_path):
+        py_compile.compile(str(path),
+                           cfile=str(tmp_path / "out.pyc"),
+                           doraise=True)
+
+
+class TestExamples:
+    def test_at_least_six_examples(self):
+        assert len(EXAMPLES) >= 6
+
+    @pytest.mark.parametrize("path", EXAMPLES,
+                             ids=[p.name for p in EXAMPLES])
+    def test_example_structure(self, path):
+        source = path.read_text()
+        assert source.startswith("#!/usr/bin/env python3"), path.name
+        assert "def main()" in source, path.name
+        assert '__name__ == "__main__"' in source, path.name
+        assert '"""' in source.split("\n", 2)[1], \
+            f"{path.name} needs a module docstring"
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_alls_resolve(self):
+        import importlib
+        for package in ("repro.core", "repro.graphics", "repro.display",
+                        "repro.power", "repro.apps", "repro.inputs",
+                        "repro.baselines", "repro.sim", "repro.analysis",
+                        "repro.experiments"):
+            module = importlib.import_module(package)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{package}.{name}"
+
+    def test_version_string(self):
+        import repro
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+
+class TestRegistryFilesExist:
+    def test_registry_benchmarks_exist(self):
+        from repro.experiments.registry import EXPERIMENTS
+        for info in EXPERIMENTS:
+            assert (REPO_ROOT / info.benchmark).exists(), info.benchmark
+
+    def test_registry_modules_importable(self):
+        import importlib
+        from repro.experiments.registry import EXPERIMENTS
+        for info in EXPERIMENTS:
+            for module in info.modules:
+                importlib.import_module(module)
+
+
+class TestDocumentation:
+    def test_required_docs_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            assert (REPO_ROOT / name).stat().st_size > 1000, name
+
+    def test_design_covers_every_experiment(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text()
+        from repro.experiments.registry import EXPERIMENTS
+        for info in EXPERIMENTS:
+            assert info.benchmark.split("/")[-1] in design, \
+                info.experiment_id
+
+    def test_every_public_module_has_docstring(self):
+        import importlib
+        for path in (REPO_ROOT / "src" / "repro").rglob("*.py"):
+            rel = path.relative_to(REPO_ROOT / "src")
+            module_name = str(rel.with_suffix("")).replace("/", ".")
+            module_name = module_name.replace(".__init__", "")
+            module = importlib.import_module(module_name)
+            assert module.__doc__, module_name

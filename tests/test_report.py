@@ -1,0 +1,35 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import generate_report
+from repro.experiments.survey import SurveyConfig
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(
+        survey_config=SurveyConfig(
+            apps=("Facebook", "Jelly Splash"), duration_s=8.0, seed=4),
+        trace_duration_s=12.0, fig6_duration_s=4.0, seed=4)
+
+
+class TestGenerateReport:
+    def test_every_artifact_present(self, report_text):
+        for marker in ("Figure 2", "Figure 3", "Figure 5", "Figure 6",
+                       "Figure 7", "Figure 8", "Figure 9", "Figure 10",
+                       "Figure 11", "Table 1"):
+            assert marker in report_text, marker
+
+    def test_header_and_version(self, report_text):
+        import repro
+        assert report_text.startswith("# Reproduction report")
+        assert repro.__version__ in report_text
+
+    def test_fig5_exactness_stated(self, report_text):
+        assert "table matches the paper exactly" in report_text
+
+    def test_invalid_durations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_report(trace_duration_s=0.0)

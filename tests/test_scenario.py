@@ -1,0 +1,128 @@
+"""Tests for multi-application usage scenarios."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.scenario import (
+    ScenarioConfig,
+    ScenarioSegment,
+    run_scenario,
+)
+
+
+def three_segment_config(governor="section+boost", seed=3,
+                         duration=12.0):
+    return ScenarioConfig(segments=(
+        ScenarioSegment("KakaoTalk", duration),
+        ScenarioSegment("Jelly Splash", duration),
+        ScenarioSegment("Facebook", duration),
+    ), governor=governor, seed=seed)
+
+
+class TestScenarioConfig:
+    def test_total_duration(self):
+        assert three_segment_config().total_duration_s == 36.0
+
+    def test_boundaries(self):
+        bounds = three_segment_config().boundaries()
+        assert bounds == [(0.0, 12.0), (12.0, 24.0), (24.0, 36.0)]
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(segments=())
+
+    def test_oracle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            three_segment_config(governor="oracle")
+
+    def test_invalid_segment_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSegment("Facebook", 0.0)
+
+    def test_profile_segment_accepted(self):
+        from repro.apps.catalog import app_profile
+        seg = ScenarioSegment(app_profile("Facebook"), 5.0)
+        assert seg.resolve_profile().name == "Facebook"
+
+
+class TestScenarioRun:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        base = run_scenario(three_segment_config(governor="fixed"))
+        governed = run_scenario(three_segment_config())
+        return base, governed
+
+    def test_all_segments_ran(self, pair):
+        _, governed = pair
+        for segment in governed.segments:
+            assert segment.application.started
+            assert len(segment.application.submissions) > 0
+
+    def test_segment_activity_confined_to_window(self, pair):
+        _, governed = pair
+        for segment in governed.segments:
+            times = segment.application.submissions.times
+            assert times.min() >= segment.start_s
+            assert times.max() <= segment.end_s + 1e-6
+
+    def test_scenario_saves_power(self, pair):
+        base, governed = pair
+        assert governed.power_report().mean_power_mw < \
+            base.power_report().mean_power_mw
+
+    def test_game_segment_saves_most(self, pair):
+        base, governed = pair
+        savings = []
+        for i in range(3):
+            b = base.segment_power(base.segments[i]).mean_power_mw
+            g = governed.segment_power(governed.segments[i]).mean_power_mw
+            savings.append(b - g)
+        # Segment 1 is Jelly Splash (the free-running game).
+        assert savings[1] == max(savings)
+
+    def test_segment_power_sums_to_total(self, pair):
+        _, governed = pair
+        total = governed.power_report()
+        summed = sum(
+            governed.segment_power(s).energy_mj
+            for s in governed.segments)
+        assert summed == pytest.approx(total.energy_mj)
+
+    def test_quality_per_segment(self, pair):
+        base, governed = pair
+        for i in range(3):
+            q = governed.segment_quality(i, base)
+            assert 0.5 <= q <= 1.0
+
+    def test_launch_transitions_are_meaningful_frames(self, pair):
+        _, governed = pair
+        # Each segment switch repaints the screen: at least one
+        # meaningful composition lands right after each boundary.
+        for segment in governed.segments:
+            count = governed.meaningful_compositions.count_in(
+                segment.start_s, segment.start_s + 0.5)
+            assert count >= 1
+
+    def test_governor_adapts_across_segments(self, pair):
+        _, governed = pair
+        # Mean refresh during the game segment exceeds the messenger
+        # segment's (the game's content and loop demand more).
+        messenger = governed.panel.rate_history.mean(2.0, 12.0)
+        game = governed.panel.rate_history.mean(14.0, 24.0)
+        assert game > messenger
+
+    def test_determinism(self):
+        a = run_scenario(three_segment_config(seed=9, duration=6.0))
+        b = run_scenario(three_segment_config(seed=9, duration=6.0))
+        assert a.power_report().energy_mj == \
+            b.power_report().energy_mj
+
+    def test_workload_identical_across_governors(self):
+        base = run_scenario(three_segment_config(governor="fixed",
+                                                 seed=5, duration=6.0))
+        governed = run_scenario(three_segment_config(seed=5,
+                                                     duration=6.0))
+        for sa, sb in zip(base.segments, governed.segments):
+            assert list(sa.application.content_changes.times) == \
+                list(sb.application.content_changes.times)
+        assert base.touch_script.times == governed.touch_script.times

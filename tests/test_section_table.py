@@ -1,0 +1,141 @@
+"""Tests for the section table (Equation 1)."""
+
+import pytest
+
+from repro.core.section_table import Section, SectionTable
+from repro.display.presets import GALAXY_S3_PANEL, LTPO_120_PANEL
+from repro.errors import ConfigurationError
+
+GS3_RATES = (20.0, 24.0, 30.0, 40.0, 60.0)
+
+
+class TestFigure5Reproduction:
+    """The table must reproduce Figure 5 exactly."""
+
+    def setup_method(self):
+        self.table = SectionTable.from_rates(GS3_RATES)
+
+    @pytest.mark.parametrize("content,expected", [
+        (0.0, 20.0), (5.0, 20.0), (9.99, 20.0),
+        (10.0, 24.0), (15.0, 24.0), (21.99, 24.0),
+        (22.0, 30.0), (25.0, 30.0), (26.99, 30.0),
+        (27.0, 40.0), (33.0, 40.0), (34.99, 40.0),
+        (35.0, 60.0), (50.0, 60.0), (60.0, 60.0), (240.0, 60.0),
+    ])
+    def test_lookup_matches_figure5(self, content, expected):
+        assert self.table.lookup(content) == expected
+
+    def test_paper_example_8fps(self):
+        # "The application initially updates frames at 8 fps ... the
+        # refresh rate is set to 20 Hz."
+        assert self.table.lookup(8.0) == 20.0
+
+    def test_paper_example_33fps(self):
+        # "When the application displays at 33 fps ... adjusted to
+        # 40 Hz."
+        assert self.table.lookup(33.0) == 40.0
+
+    def test_thresholds_are_medians(self):
+        highs = [s.high for s in self.table.sections[:-1]]
+        assert highs == [10.0, 22.0, 27.0, 35.0]
+
+
+class TestEquationOneGeneralisation:
+    def test_two_rates(self):
+        table = SectionTable.from_rates([30.0, 60.0])
+        assert table.lookup(0.0) == 30.0
+        assert table.lookup(14.9) == 30.0
+        assert table.lookup(15.0) == 60.0
+
+    def test_single_rate_degenerate(self):
+        table = SectionTable.from_rates([60.0])
+        assert table.lookup(0.0) == 60.0
+        assert table.lookup(100.0) == 60.0
+
+    def test_unsorted_input_handled(self):
+        a = SectionTable.from_rates([60.0, 20.0, 40.0, 24.0, 30.0])
+        b = SectionTable.from_rates(GS3_RATES)
+        for c in (0.0, 11.0, 23.0, 29.0, 44.0):
+            assert a.lookup(c) == b.lookup(c)
+
+    def test_for_panel(self):
+        table = SectionTable.for_panel(GALAXY_S3_PANEL)
+        assert table.refresh_rates_hz == GS3_RATES
+
+    def test_ltpo_panel_table(self):
+        # "The thresholds should be redefined when the available
+        # refresh rates are changed."
+        table = SectionTable.for_panel(LTPO_120_PANEL)
+        assert table.lookup(0.3) == 1.0
+        assert table.lookup(100.0) == 120.0
+        assert table.headroom_ok()
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SectionTable.from_rates([])
+
+    def test_duplicate_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SectionTable.from_rates([20.0, 20.0, 60.0])
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SectionTable.from_rates([0.0, 60.0])
+
+
+class TestHeadroomProperty:
+    """The anti-deadlock property the paper derives Equation (1) for."""
+
+    @pytest.mark.parametrize("rates", [
+        GS3_RATES,
+        (30.0, 60.0),
+        (15.0, 30.0, 60.0),
+        (1.0, 10.0, 24.0, 30.0, 40.0, 60.0, 90.0, 120.0),
+    ])
+    def test_selected_rate_exceeds_section_top(self, rates):
+        table = SectionTable.from_rates(rates)
+        assert table.headroom_ok()
+        for section in table.sections[:-1]:
+            assert section.refresh_rate_hz > section.high
+
+    def test_selected_rate_always_at_least_content(self):
+        table = SectionTable.from_rates(GS3_RATES)
+        for c10 in range(0, 601):
+            c = c10 / 10.0
+            selected = table.lookup(c)
+            # Above the panel max the rate saturates, which is the best
+            # the hardware can do.
+            assert selected >= min(c, table.max_rate_hz)
+
+
+class TestTableStructure:
+    def test_sections_contiguous_from_zero(self):
+        table = SectionTable.from_rates(GS3_RATES)
+        assert table.sections[0].low == 0.0
+        for a, b in zip(table.sections, table.sections[1:]):
+            assert a.high == b.low
+        assert table.sections[-1].high == float("inf")
+
+    def test_invalid_hand_built_tables_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SectionTable([Section(1.0, 10.0, 20.0)])  # gap below
+        with pytest.raises(ConfigurationError):
+            SectionTable([Section(0.0, 10.0, 20.0)])  # no top section
+        with pytest.raises(ConfigurationError):
+            SectionTable([Section(0.0, 10.0, 40.0),
+                          Section(10.0, float("inf"), 20.0)])  # not rising
+
+    def test_negative_lookup_rejected(self):
+        table = SectionTable.from_rates(GS3_RATES)
+        with pytest.raises(ConfigurationError):
+            table.lookup(-1.0)
+
+    def test_describe_mentions_every_rate(self):
+        text = SectionTable.from_rates(GS3_RATES).describe()
+        for rate in (20, 24, 30, 40, 60):
+            assert f"{rate} Hz" in text
+
+    def test_min_max_rates(self):
+        table = SectionTable.from_rates(GS3_RATES)
+        assert table.min_rate_hz == 20.0
+        assert table.max_rate_hz == 60.0

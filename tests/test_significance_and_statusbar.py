@@ -1,0 +1,142 @@
+"""Tests for the significance filter and the status-bar session option."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.content_rate import ContentRateMeter, MeterConfig
+from repro.core.grid import GridComparator, GridSpec
+from repro.errors import ConfigurationError
+from repro.graphics.framebuffer import Framebuffer
+
+
+class TestCountChanged:
+    def _frames(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, size=(100, 100, 3), dtype=np.uint8)
+        return a, a.copy()
+
+    def test_zero_for_equal_frames(self):
+        a, b = self._frames()
+        comp = GridComparator(GridSpec((100, 100), 10, 10))
+        assert comp.count_changed(a, b) == 0
+
+    def test_counts_cells_not_pixels(self):
+        a, b = self._frames()
+        grid = GridSpec((100, 100), 10, 10)
+        comp = GridComparator(grid)
+        # Change exactly two sample points.
+        a[5, 5] = 255 - a[5, 5]
+        a[15, 25] = 255 - a[15, 25]
+        assert comp.count_changed(a, b) == 2
+
+    def test_full_frame_change_counts_most_cells(self):
+        a, b = self._frames()
+        a[:] = 255 - a
+        comp = GridComparator(GridSpec((100, 100), 10, 10))
+        assert comp.count_changed(a, b) > 90
+
+    def test_sampled_previous_supported(self):
+        a, b = self._frames()
+        grid = GridSpec((100, 100), 10, 10)
+        comp = GridComparator(grid)
+        prev = grid.sample(b)
+        a[5, 5] = 255 - a[5, 5]
+        assert comp.count_changed(a, prev) == 1
+
+    def test_consistent_with_frames_equal(self):
+        a, b = self._frames()
+        grid = GridSpec((100, 100), 10, 10)
+        comp = GridComparator(grid)
+        assert (comp.count_changed(a, b) == 0) == comp.frames_equal(a, b)
+        a[5, 5] = 255 - a[5, 5]
+        assert (comp.count_changed(a, b) == 0) == comp.frames_equal(a, b)
+
+    def test_bad_previous_shape_rejected(self):
+        from repro.errors import MeteringError
+        a, _ = self._frames()
+        comp = GridComparator(GridSpec((100, 100), 10, 10))
+        with pytest.raises(MeteringError):
+            comp.count_changed(a, np.zeros((3, 3, 3), dtype=np.uint8))
+
+
+class TestSignificanceFilter:
+    def _meter(self, min_cells):
+        fb = Framebuffer(100, 100)
+        meter = ContentRateMeter(
+            fb, MeterConfig(sample_count=100,
+                            min_changed_cells=min_cells))
+        return fb, meter
+
+    def test_default_counts_any_change(self):
+        fb, meter = self._meter(1)
+        base = np.full(fb.shape, 40, dtype=np.uint8)
+        fb.write(base, 0.1)
+        tweaked = base.copy()
+        tweaked[5, 5] = 200  # exactly one sample point
+        fb.write(tweaked, 0.2)
+        assert meter.total_meaningful == 2
+
+    def test_threshold_ignores_tiny_changes(self):
+        fb, meter = self._meter(3)
+        base = np.full(fb.shape, 40, dtype=np.uint8)
+        fb.write(base, 0.1)  # full repaint: meaningful
+        tweaked = base.copy()
+        tweaked[5, 5] = 200  # one changed cell < threshold of 3
+        fb.write(tweaked, 0.2)
+        assert meter.total_meaningful == 1
+
+    def test_threshold_passes_large_changes(self):
+        fb, meter = self._meter(3)
+        base = np.full(fb.shape, 40, dtype=np.uint8)
+        fb.write(base, 0.1)
+        fb.write(np.full(fb.shape, 200, dtype=np.uint8), 0.2)
+        assert meter.total_meaningful == 2
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeterConfig(min_changed_cells=0)
+
+
+class TestStatusBarOption:
+    def test_status_bar_generates_overlay_content(self):
+        result = repro.run_session(repro.SessionConfig(
+            app="Tiny Flashlight", governor="fixed", duration_s=10.0,
+            seed=2, status_bar=True))
+        assert result.status_bar_app is not None
+        # A 1 Hz periodic clock produced ~10 ticks.
+        assert len(result.status_bar_app.content_changes) == \
+            pytest.approx(10, abs=1)
+
+    def test_status_bar_raises_displayed_content(self):
+        plain = repro.run_session(repro.SessionConfig(
+            app="Tiny Flashlight", governor="fixed", duration_s=15.0,
+            seed=2))
+        with_bar = repro.run_session(repro.SessionConfig(
+            app="Tiny Flashlight", governor="fixed", duration_s=15.0,
+            seed=2, status_bar=True))
+        assert with_bar.mean_content_rate_fps > \
+            plain.mean_content_rate_fps
+
+    def test_status_bar_absent_by_default(self):
+        result = repro.run_session(repro.SessionConfig(
+            app="Tiny Flashlight", governor="fixed", duration_s=5.0,
+            seed=2))
+        assert result.status_bar_app is None
+
+    def test_overlay_composites_above_app(self):
+        result = repro.run_session(repro.SessionConfig(
+            app="Tiny Flashlight", governor="fixed", duration_s=10.0,
+            seed=2, status_bar=True))
+        bar = result.status_bar_app.surface
+        assert bar.z_order > result.application.surface.z_order
+
+    def test_governed_session_with_bar_still_saves(self):
+        base = repro.run_session(repro.SessionConfig(
+            app="Facebook", governor="fixed", duration_s=15.0,
+            seed=2, status_bar=True))
+        governed = repro.run_session(repro.SessionConfig(
+            app="Facebook", governor="section+boost", duration_s=15.0,
+            seed=2, status_bar=True))
+        assert governed.power_report().mean_power_mw < \
+            base.power_report().mean_power_mw

@@ -1,0 +1,87 @@
+"""Tests for unit validation helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    VSYNC_DEADLINE_60HZ_S,
+    ensure_fraction,
+    ensure_non_negative,
+    ensure_non_negative_int,
+    ensure_positive,
+    ensure_positive_int,
+    hz_to_period,
+)
+
+
+class TestEnsurePositive:
+    def test_accepts_positive(self):
+        assert ensure_positive(2.5, "x") == 2.5
+
+    def test_returns_float(self):
+        out = ensure_positive(3, "x")
+        assert isinstance(out, float)
+
+    @pytest.mark.parametrize("bad", [0, -1.0, float("nan"),
+                                     float("inf"), "3", None, True])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            ensure_positive(bad, "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="speed"):
+            ensure_positive(-1, "speed")
+
+
+class TestEnsureNonNegative:
+    def test_accepts_zero(self):
+        assert ensure_non_negative(0, "x") == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.001, float("nan"), "0", False])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            ensure_non_negative(bad, "x")
+
+
+class TestEnsureFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert ensure_fraction(ok, "x") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            ensure_fraction(bad, "x")
+
+
+class TestIntValidators:
+    def test_positive_int(self):
+        assert ensure_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.0, True, "2"])
+    def test_positive_int_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            ensure_positive_int(bad, "x")
+
+    def test_non_negative_int_accepts_zero(self):
+        assert ensure_non_negative_int(0, "x") == 0
+
+    @pytest.mark.parametrize("bad", [-1, 0.0, False])
+    def test_non_negative_int_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            ensure_non_negative_int(bad, "x")
+
+
+class TestConversions:
+    def test_hz_to_period(self):
+        assert hz_to_period(60.0) == pytest.approx(1.0 / 60.0)
+
+    def test_hz_to_period_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            hz_to_period(0.0)
+
+    def test_vsync_deadline_matches_paper(self):
+        # The paper's 16.67 ms budget at 60 Hz.
+        assert math.isclose(VSYNC_DEADLINE_60HZ_S, 0.016667, rel_tol=1e-3)
