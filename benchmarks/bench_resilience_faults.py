@@ -1,0 +1,49 @@
+"""Resilience — quality/power vs injected metering-fault rate.
+
+Robustness shapes asserted here (no paper figure — this is the
+deployment-hardening extension, see docs/robustness.md):
+
+* the session survives every fault rate, including meter_fail=0.5;
+* display quality never degrades materially: the watchdog trades
+  power for quality, exactly like touch boosting does;
+* heavy fault load pushes the panel toward the fail-safe maximum, so
+  mean refresh (and power) rise with the fault rate;
+* the watchdog actually cycles: fail-safe entries and recoveries are
+  both observed at high fault rates.
+"""
+
+from repro.experiments import resilience
+
+from conftest import publish
+
+CONFIG = resilience.ResilienceConfig(duration_s=30.0, seed=1)
+
+
+def test_resilience_reproduction(benchmark):
+    result = benchmark.pedantic(lambda: resilience.run(CONFIG),
+                                rounds=1, iterations=1)
+    publish("resilience_faults", result.format())
+
+    clean = result.row_at(0.0)
+    heavy = result.rows[-1]
+
+    # No crash, all rows produced, in sweep order.
+    assert [r.fault_rate for r in result.rows] == \
+        list(CONFIG.fault_rates)
+
+    # Fault-free row is genuinely fault-free.
+    assert clean.meter_failures == 0
+    assert clean.failsafe_entries == 0
+
+    # Quality over power: never materially below the clean session.
+    assert result.min_quality > 0.95 * clean.display_quality
+
+    # Failing safe costs power: the heavy-fault session refreshes
+    # faster (and burns more) than the clean governed session, but
+    # still no more than the fixed baseline (plus rounding).
+    assert heavy.meter_failures > 0
+    assert heavy.failsafe_entries >= 1
+    assert heavy.recoveries >= 1
+    assert heavy.mean_refresh_hz > clean.mean_refresh_hz
+    assert heavy.mean_power_mw > clean.mean_power_mw
+    assert heavy.mean_power_mw <= 1.02 * result.baseline_power_mw

@@ -68,14 +68,22 @@ from .display import (
     panel_preset,
     panel_preset_names,
 )
+from .core.watchdog import GovernorWatchdog, WatchdogConfig
 from .errors import (
     ConfigurationError,
     DisplayError,
+    FaultInjectionError,
     GraphicsError,
     MeteringError,
     ReproError,
     SimulationError,
     WorkloadError,
+)
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    FaultWindow,
 )
 from .graphics import Framebuffer, Surface, SurfaceManager
 from .inputs import (
@@ -94,7 +102,14 @@ from .power import (
     galaxy_s3_calibration,
 )
 from .sim import Simulator
-from .sim.batch import run_batch, run_session_summary
+from .sim.batch import (
+    batch_failure_summary,
+    format_batch_failures,
+    is_failure_record,
+    make_failure_record,
+    run_batch,
+    run_session_summary,
+)
 from .sim.scenario import (
     ScenarioConfig,
     ScenarioResult,
@@ -121,6 +136,11 @@ __all__ = [
     "DisplayPanel",
     "DoubleBuffer",
     "E3ScrollGovernor",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultWindow",
     "FIXED_60_PANEL",
     "FixedRefreshGovernor",
     "Framebuffer",
@@ -128,6 +148,7 @@ __all__ = [
     "GAME_APP_NAMES",
     "GENERAL_APP_NAMES",
     "GOVERNOR_CHOICES",
+    "GovernorWatchdog",
     "GraphicsError",
     "GridComparator",
     "GridSpec",
@@ -167,11 +188,16 @@ __all__ = [
     "TouchScript",
     "TouchSource",
     "WallpaperProfile",
+    "WatchdogConfig",
     "WorkloadError",
     "all_app_names",
     "app_profile",
+    "batch_failure_summary",
     "compute_quality",
+    "format_batch_failures",
     "galaxy_s3_calibration",
+    "is_failure_record",
+    "make_failure_record",
     "nexus_revamped",
     "panel_preset",
     "panel_preset_names",

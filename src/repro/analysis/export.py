@@ -38,6 +38,7 @@ def session_summary_dict(result) -> dict:
         "display_quality": quality.display_quality,
         "dropped_fps": quality.dropped_fps,
         "touches": len(result.touch_script),
+        "faults": result.fault_summary_dict(),
     }
 
 

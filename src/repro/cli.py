@@ -119,6 +119,22 @@ def _add_session_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--panel", default="galaxy-s3",
                         choices=panel_preset_names())
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault-injection plan, e.g. "
+                             "'panel_refuse=0.05,meter_fail=0.01,"
+                             "touch_drop=0.1'; bursts as "
+                             "'meter_fail@10:20=1.0'")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the fault injector's random "
+                             "streams (default 0)")
+
+
+def _resolve_faults(args: argparse.Namespace):
+    """The :class:`FaultPlan` requested on the command line, or None."""
+    if getattr(args, "faults", None) is None:
+        return None
+    from .faults.plan import FaultPlan
+    return FaultPlan.parse(args.faults, seed=args.fault_seed)
 
 
 # ----------------------------------------------------------------------
@@ -162,7 +178,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         app=args.app, governor=args.governor,
         duration_s=args.duration, seed=args.seed,
         panel=panel_preset(args.panel),
-        track_oled=args.oled))
+        track_oled=args.oled,
+        faults=_resolve_faults(args)))
     report = result.power_report()
     print(f"app:            {result.profile.name} "
           f"({result.profile.category.value})")
@@ -183,11 +200,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     if latency.answered:
         print(f"touch latency:  {1e3 * latency.mean_s:.0f} ms mean over "
               f"{latency.answered} touches")
+    if result.injector is not None:
+        faults = result.fault_summary_dict()
+        by_site = ", ".join(
+            f"{site} {count}" for site, count
+            in sorted(faults["injected_by_site"].items())) or "none"
+        print(f"faults:         {faults['injected_total']} injected "
+              f"({by_site})")
+        print(f"watchdog:       {faults['meter_failures']} meter "
+              f"failures, {faults['failsafe_entries']} fail-safe "
+              f"entries, {faults['recoveries']} recoveries "
+              f"(final state {faults['watchdog_state']})")
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     governors = [g.strip() for g in args.governors.split(",") if g]
+    faults = _resolve_faults(args)
     base = run_session(SessionConfig(
         app=args.app, governor="fixed", duration_s=args.duration,
         seed=args.seed, panel=panel_preset(args.panel)))
@@ -197,7 +226,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     for governor in governors:
         result = run_session(SessionConfig(
             app=args.app, governor=governor, duration_s=args.duration,
-            seed=args.seed, panel=panel_preset(args.panel)))
+            seed=args.seed, panel=panel_preset(args.panel),
+            faults=faults))
         power = result.power_report().mean_power_mw
         quality = quality_vs_baseline(result.mean_content_rate_fps,
                                       base.mean_content_rate_fps)
@@ -217,7 +247,8 @@ def cmd_export(args: argparse.Namespace) -> int:
     result = run_session(SessionConfig(
         app=args.app, governor=args.governor,
         duration_s=args.duration, seed=args.seed,
-        panel=panel_preset(args.panel)))
+        panel=panel_preset(args.panel),
+        faults=_resolve_faults(args)))
     json_path = write_session_json(result, f"{args.out}.json")
     trace_path = write_trace_csv(result, f"{args.out}_trace.csv")
     events_path = write_events_csv(result, f"{args.out}_events.csv")

@@ -32,12 +32,14 @@ from .hysteresis import HysteresisGovernor
 from .manager import ContentCentricManager, ManagerConfig
 from .quality import QualityReport, compute_quality, quality_vs_baseline
 from .section_table import Section, SectionTable
+from .watchdog import GovernorWatchdog, WatchdogConfig
 
 __all__ = [
     "ContentCentricManager",
     "ContentRateMeter",
     "DoubleBuffer",
     "GovernorPolicy",
+    "GovernorWatchdog",
     "GridComparator",
     "GridSpec",
     "HysteresisGovernor",
@@ -50,6 +52,7 @@ __all__ = [
     "SectionBasedGovernor",
     "SectionTable",
     "TouchBoostGovernor",
+    "WatchdogConfig",
     "compute_quality",
     "quality_vs_baseline",
 ]

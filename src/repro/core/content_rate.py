@@ -16,7 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, MeteringError
+from ..faults.injector import FaultInjector
+from ..faults.plan import SITE_METER_FAIL
 from ..graphics.framebuffer import Framebuffer
 from ..sim.tracing import EventLog
 from ..units import ensure_positive
@@ -79,12 +81,22 @@ class ContentRateMeter:
     config:
         Meter configuration; defaults to the paper's recommended
         operating point.
+    injector:
+        Optional fault injector.  When present, content-rate reads can
+        fail (``meter_fail`` site): the snapshot/compare machinery is
+        treated as having lost its previous-frame copy mid-read and
+        :meth:`content_rate` raises :class:`~repro.errors.MeteringError`
+        with structured context.  None leaves the meter exactly as
+        before.
     """
 
     def __init__(self, framebuffer: Framebuffer,
-                 config: Optional[MeterConfig] = None) -> None:
+                 config: Optional[MeterConfig] = None,
+                 injector: Optional[FaultInjector] = None) -> None:
         self.config = config or MeterConfig()
         self._framebuffer = framebuffer
+        self._injector = injector
+        self._read_failures = 0
         shape = (framebuffer.height, framebuffer.width)
         self.grid = GridSpec.from_sample_count(shape,
                                                self.config.sample_count)
@@ -125,7 +137,23 @@ class ContentRateMeter:
     # ------------------------------------------------------------------
     def content_rate(self, now: float,
                      window_s: Optional[float] = None) -> float:
-        """Meaningful frames per second over the trailing window."""
+        """Meaningful frames per second over the trailing window.
+
+        Raises
+        ------
+        MeteringError
+            When an injected ``meter_fail`` fault fires for this read
+            (never without an injector): the snapshot/compare pipeline
+            failed, so no rate estimate is available this decision.
+        """
+        if self._injector is not None and self._injector.fires(
+                SITE_METER_FAIL, now, detail="content_rate read"):
+            self._read_failures += 1
+            raise MeteringError(
+                f"content-rate read failed at t={now:.3f}s: injected "
+                f"framebuffer snapshot/compare fault",
+                context={"subsystem": "meter", "sim_time_s": now,
+                         "component": "content_rate"})
         return self._windowed_rate(self._meaningful, now, window_s)
 
     def frame_rate(self, now: float,
@@ -181,6 +209,11 @@ class ContentRateMeter:
     def bytes_copied(self) -> int:
         """Previous-frame storage traffic (double-buffer accounting)."""
         return self._store.bytes_copied
+
+    @property
+    def read_failures(self) -> int:
+        """Content-rate reads that failed under fault injection."""
+        return self._read_failures
 
     def detach(self) -> None:
         """Stop observing the framebuffer."""

@@ -15,6 +15,7 @@ from typing import Optional
 
 from ..display.panel import DisplayPanel
 from ..errors import ConfigurationError
+from ..faults.injector import FaultInjector
 from ..graphics.framebuffer import Framebuffer
 from ..sim.engine import Simulator
 from ..units import ensure_positive
@@ -26,6 +27,7 @@ from .governor import (
     TouchBoostGovernor,
 )
 from .section_table import SectionTable
+from .watchdog import GovernorWatchdog, WatchdogConfig
 
 
 @dataclass(frozen=True)
@@ -42,12 +44,22 @@ class ManagerConfig:
         Enable the touch-boosting wrapper (the paper's full system).
     boost_hold_s:
         How long a touch pins the maximum refresh rate.
+    watchdog:
+        Supervise the policy stack with a
+        :class:`~repro.core.watchdog.GovernorWatchdog` when a fault
+        injector is attached (robustness extension).  Without an
+        injector the meter never fails, so no wrapper is added and the
+        manager behaves exactly as before.
+    watchdog_config:
+        Degradation-ladder tunables for the watchdog.
     """
 
     meter: MeterConfig = MeterConfig()
     decision_period_s: float = 0.2
     touch_boost: bool = True
     boost_hold_s: float = 1.0
+    watchdog: bool = True
+    watchdog_config: WatchdogConfig = WatchdogConfig()
 
     def __post_init__(self) -> None:
         ensure_positive(self.decision_period_s, "decision_period_s")
@@ -73,15 +85,23 @@ class ContentCentricManager:
         :class:`SectionBasedGovernor` over the panel's Equation (1)
         table is built, wrapped in :class:`TouchBoostGovernor` when
         ``config.touch_boost`` is set.
+    injector:
+        Optional fault injector (robustness extension): the meter gets
+        its metering faults from it, and — when ``config.watchdog`` is
+        set — the policy stack is wrapped in a
+        :class:`~repro.core.watchdog.GovernorWatchdog` that fails safe
+        to the panel maximum when metering breaks.
     """
 
     def __init__(self, sim: Simulator, panel: DisplayPanel,
                  framebuffer: Framebuffer,
                  config: Optional[ManagerConfig] = None,
-                 policy: Optional[GovernorPolicy] = None) -> None:
+                 policy: Optional[GovernorPolicy] = None,
+                 injector: Optional[FaultInjector] = None) -> None:
         self.config = config or ManagerConfig()
         self.panel = panel
-        self.meter = ContentRateMeter(framebuffer, self.config.meter)
+        self.meter = ContentRateMeter(framebuffer, self.config.meter,
+                                      injector=injector)
         self.table = SectionTable.for_panel(panel.spec)
         if policy is None:
             section = SectionBasedGovernor(self.table, self.meter)
@@ -91,6 +111,12 @@ class ContentCentricManager:
                     hold_s=self.config.boost_hold_s)
             else:
                 policy = section
+        self.watchdog: Optional[GovernorWatchdog] = None
+        if injector is not None and self.config.watchdog:
+            self.watchdog = GovernorWatchdog(
+                policy, failsafe_rate_hz=panel.spec.max_refresh_hz,
+                config=self.config.watchdog_config)
+            policy = self.watchdog
         self.policy = policy
         self.driver = GovernorDriver(sim, panel, policy,
                                      self.config.decision_period_s)

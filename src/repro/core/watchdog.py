@@ -1,0 +1,223 @@
+"""The governor watchdog: graceful degradation under metering faults.
+
+The section-based governor is only as healthy as its content-rate
+meter.  On real hardware the framebuffer snapshot/compare can fail —
+and a governor that crashes (or silently keeps a stale low rate) would
+strand the panel at 20 Hz while the user scrolls.  The watchdog wraps
+the policy stack and turns metering failures into a three-state
+degradation ladder, trading power for quality exactly like the paper's
+touch-boost philosophy (when in doubt, refresh fast):
+
+::
+
+                 read ok                     read ok
+    +---------+ <-------- +----------+ <-------------- +----------+
+    | NOMINAL |           | RETRYING |                 | FAILSAFE |
+    +---------+ --------> +----------+ --------------> +----------+
+               read fails              N consecutive
+               (hold last              failures (pin
+               good rate,              panel maximum,
+               backed-off              keep probing)
+               retries)
+
+* **NOMINAL** — every decision consults the wrapped policy normally.
+* **RETRYING** — a read failed; the last good rate is held and the
+  meter is re-probed with bounded exponential backoff *in sim time*
+  (each consecutive failure doubles the wait, up to a cap).
+* **FAILSAFE** — ``fail_threshold`` consecutive failures: the panel is
+  pinned at the fail-safe (maximum) rate.  Quality is preserved at full
+  power cost until a probe succeeds, at which point content-centric
+  control re-engages immediately.
+
+The wrapper is transparent when nothing fails: it returns exactly the
+inner policy's rates and reports the inner policy's name, so fault-free
+sessions are numerically identical with or without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError, MeteringError
+from ..units import ensure_positive
+from .governor import GovernorPolicy
+
+#: Watchdog state names (stringly-typed for cheap export).
+STATE_NOMINAL = "nominal"
+STATE_RETRYING = "retrying"
+STATE_FAILSAFE = "failsafe"
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Degradation-ladder tunables.
+
+    Parameters
+    ----------
+    fail_threshold:
+        Consecutive metering failures before failing safe to the
+        maximum rate.
+    backoff_initial_s:
+        Wait after the first failure before the meter is probed again.
+    backoff_multiplier:
+        Growth factor of the wait per additional consecutive failure.
+    backoff_max_s:
+        Upper bound on the probe wait — the watchdog never stops
+        probing for longer than this, so recovery latency is bounded.
+    """
+
+    fail_threshold: int = 3
+    backoff_initial_s: float = 0.2
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.fail_threshold < 1:
+            raise ConfigurationError(
+                f"fail_threshold must be >= 1, got "
+                f"{self.fail_threshold}")
+        ensure_positive(self.backoff_initial_s, "backoff_initial_s")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1, got "
+                f"{self.backoff_multiplier}")
+        ensure_positive(self.backoff_max_s, "backoff_max_s")
+
+
+class GovernorWatchdog(GovernorPolicy):
+    """Fail-safe wrapper around any :class:`GovernorPolicy`.
+
+    Parameters
+    ----------
+    inner:
+        The policy stack to supervise (typically the section-based
+        governor, possibly already wrapped in touch boosting).
+    failsafe_rate_hz:
+        The rate pinned while failed safe — the panel maximum, so a
+        broken meter costs power, never quality.
+    config:
+        Degradation-ladder tunables.
+    """
+
+    def __init__(self, inner: GovernorPolicy, failsafe_rate_hz: float,
+                 config: Optional[WatchdogConfig] = None) -> None:
+        self.inner = inner
+        self.failsafe_rate_hz = ensure_positive(failsafe_rate_hz,
+                                                "failsafe_rate_hz")
+        self.config = config or WatchdogConfig()
+        # Transparent wrapper: traces and summaries keep reporting the
+        # supervised policy's name.
+        self.name = inner.name
+        self._state = STATE_NOMINAL
+        self._held_rate = failsafe_rate_hz
+        self._consecutive_failures = 0
+        self._retry_at = float("-inf")
+        self._meter_failures = 0
+        self._failsafe_entries = 0
+        self._recoveries = 0
+        self._transitions: List[Tuple[float, str]] = []
+
+    # ------------------------------------------------------------------
+    # Policy interface
+    # ------------------------------------------------------------------
+    def select_rate(self, now: float) -> float:
+        if self._state != STATE_NOMINAL and now < self._retry_at:
+            # Backed off: do not touch the meter until the retry time.
+            return self._degraded_rate()
+        try:
+            rate = self.inner.select_rate(now)
+        except MeteringError:
+            self._on_failure(now)
+            return self._degraded_rate()
+        self._on_success(now)
+        self._held_rate = rate
+        return rate
+
+    def on_touch(self, time: float) -> Optional[float]:
+        try:
+            return self.inner.on_touch(time)
+        except MeteringError:
+            # A policy that needs the meter to answer a touch is as
+            # degraded as a failed decision; boosting to the fail-safe
+            # rate is what touch handling wants anyway.
+            self._on_failure(time)
+            return self.failsafe_rate_hz
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def _on_failure(self, now: float) -> None:
+        self._meter_failures += 1
+        self._consecutive_failures += 1
+        backoff = min(
+            self.config.backoff_initial_s *
+            self.config.backoff_multiplier **
+            (self._consecutive_failures - 1),
+            self.config.backoff_max_s)
+        self._retry_at = now + backoff
+        if (self._consecutive_failures >= self.config.fail_threshold
+                and self._state != STATE_FAILSAFE):
+            self._enter(now, STATE_FAILSAFE)
+            self._failsafe_entries += 1
+        elif self._state == STATE_NOMINAL:
+            self._enter(now, STATE_RETRYING)
+
+    def _on_success(self, now: float) -> None:
+        if self._state != STATE_NOMINAL:
+            if self._state == STATE_FAILSAFE:
+                self._recoveries += 1
+            self._enter(now, STATE_NOMINAL)
+        self._consecutive_failures = 0
+        self._retry_at = float("-inf")
+
+    def _enter(self, now: float, state: str) -> None:
+        self._state = state
+        self._transitions.append((now, state))
+
+    def _degraded_rate(self) -> float:
+        if self._state == STATE_FAILSAFE:
+            return self.failsafe_rate_hz
+        return self._held_rate
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current ladder state: nominal / retrying / failsafe."""
+        return self._state
+
+    @property
+    def meter_failures(self) -> int:
+        """Total metering failures absorbed."""
+        return self._meter_failures
+
+    @property
+    def failsafe_entries(self) -> int:
+        """Times the ladder dropped to the fail-safe state."""
+        return self._failsafe_entries
+
+    @property
+    def recoveries(self) -> int:
+        """Times content-centric control re-engaged from fail-safe."""
+        return self._recoveries
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Current unbroken failure streak (0 when healthy)."""
+        return self._consecutive_failures
+
+    @property
+    def transitions(self) -> Tuple[Tuple[float, str], ...]:
+        """Every state change as ``(sim time, new state)``."""
+        return tuple(self._transitions)
+
+    def summary_dict(self) -> dict:
+        """JSON-ready counters (feeds session summaries)."""
+        return {
+            "watchdog_state": self._state,
+            "meter_failures": self._meter_failures,
+            "failsafe_entries": self._failsafe_entries,
+            "recoveries": self._recoveries,
+        }

@@ -16,6 +16,8 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..errors import DisplayError
+from ..faults.injector import FaultInjector
+from ..faults.plan import SITE_PANEL_LATENCY, SITE_PANEL_REFUSE
 from ..sim.engine import EventHandle, Simulator
 from ..sim.tracing import StepSeries
 from .spec import PanelSpec
@@ -39,12 +41,22 @@ class DisplayPanel:
     initial_rate_hz:
         Refresh rate at session start; defaults to the maximum level
         (Android's fixed 60 Hz on the paper's device).
+    injector:
+        Optional fault injector.  When present, rate-switch requests
+        may be refused (``panel_refuse`` site — the request is dropped,
+        like a busy mode-switch ioctl) and accepted switches may land
+        late (``panel_latency`` site — extra delay beyond the frame
+        boundary).  None leaves the panel exactly as before.
     """
 
     def __init__(self, sim: Simulator, spec: PanelSpec,
-                 initial_rate_hz: Optional[float] = None) -> None:
+                 initial_rate_hz: Optional[float] = None,
+                 injector: Optional[FaultInjector] = None) -> None:
         self._sim = sim
         self.spec = spec
+        self._injector = injector
+        self._refused_switches = 0
+        self._delayed_switches = 0
         rate = (spec.max_refresh_hz if initial_rate_hz is None
                 else spec.validate_rate(initial_rate_hz))
         self._rate = rate
@@ -111,15 +123,32 @@ class DisplayPanel:
         rate do not count)."""
         return self._rate_switches
 
+    @property
+    def refused_switches(self) -> int:
+        """Switch requests dropped by an injected ``panel_refuse``."""
+        return self._refused_switches
+
+    @property
+    def delayed_switches(self) -> int:
+        """Accepted switches that landed late (``panel_latency``)."""
+        return self._delayed_switches
+
     def set_refresh_rate(self, rate_hz: float) -> None:
         """Request a switch to ``rate_hz`` at the next frame boundary.
 
         ``rate_hz`` must be one of the panel's discrete levels — this is
         the kernel interface the paper's patch adds, and real hardware
-        rejects arbitrary rates.
+        rejects arbitrary rates.  Under fault injection the request may
+        be silently refused (the panel keeps its current target), as a
+        loaded mode-switch path does on the device.
         """
         rate = self.spec.validate_rate(rate_hz)
         if rate == self.target_rate_hz:
+            return
+        if self._injector is not None and self._injector.fires(
+                SITE_PANEL_REFUSE, self._sim.now,
+                detail=f"requested {rate:g} Hz"):
+            self._refused_switches += 1
             return
         if not self._running:
             # Before scan-out starts the switch is immediate.
@@ -164,6 +193,33 @@ class DisplayPanel:
         # A pending switch takes effect at this frame boundary: the
         # *next* V-Sync interval runs at the new rate.
         if self._pending_rate is not None:
-            self._apply_rate(self._pending_rate)
+            pending = self._pending_rate
             self._pending_rate = None
+            delay = 0.0
+            if self._injector is not None and self._injector.fires(
+                    SITE_PANEL_LATENCY, sim.now,
+                    detail=f"switch to {pending:g} Hz",
+                    magnitude_max_s=self.plan_latency_max_s()):
+                delay = self._injector.last_magnitude()
+            if delay > 0.0:
+                self._delayed_switches += 1
+                self._sim.call_after(
+                    delay, self._make_late_apply(pending),
+                    name="rate-switch-late")
+            else:
+                self._apply_rate(pending)
         self._schedule_next()
+
+    def plan_latency_max_s(self) -> float:
+        """Upper bound of injected switch latency (0 when no faults)."""
+        if self._injector is None:
+            return 0.0
+        return self._injector.plan.panel_latency_max_s
+
+    def _make_late_apply(self, rate: float):
+        def apply(sim: Simulator) -> None:
+            del sim
+            # The governor may have retargeted meanwhile; a stale late
+            # switch to the current rate is a harmless no-op.
+            self._apply_rate(rate)
+        return apply

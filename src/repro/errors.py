@@ -3,13 +3,37 @@
 Every error raised by this library derives from :class:`ReproError`, so
 callers can catch one type to handle any library failure.  Subclasses are
 grouped by subsystem to keep error handling in application code precise.
+
+Errors optionally carry a structured ``context`` dict (subsystem, sim
+time, component, ...) so supervisors — the governor watchdog, the batch
+runner's failure records — can report *where* a failure hit without
+parsing message strings.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` package."""
+    """Base class for all errors raised by the ``repro`` package.
+
+    Parameters
+    ----------
+    args:
+        Positional message arguments, exactly like :class:`Exception`.
+    context:
+        Optional structured failure metadata.  Conventional keys:
+        ``subsystem`` (e.g. ``"meter"``), ``sim_time_s`` (when the
+        failure hit on the simulation clock), ``component`` (the
+        operation that failed).  Always a dict — empty when the raiser
+        supplied nothing.
+    """
+
+    def __init__(self, *args: object,
+                 context: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(*args)
+        self.context: Dict[str, Any] = dict(context or {})
 
 
 class ConfigurationError(ReproError):
@@ -39,3 +63,11 @@ class MeteringError(ReproError):
 class WorkloadError(ReproError):
     """Application-workload misuse (e.g. an unknown app name requested
     from the catalog)."""
+
+
+class FaultInjectionError(ReproError):
+    """Fault-injection subsystem misuse (e.g. an unknown fault site in
+    a plan spec, or a rate outside [0, 1]).  Note: *injected* faults do
+    not raise this — they raise the error type of the faulted subsystem
+    (a refused panel switch is silent, a metering fault raises
+    :class:`MeteringError`)."""

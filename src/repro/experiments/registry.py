@@ -85,6 +85,13 @@ EXPERIMENTS: Tuple[ExperimentInfo, ...] = (
         "all 30 apps, both methods",
         ("repro.analysis.aggregate", "repro.experiments.survey"),
         "benchmarks/bench_table1_summary.py", _lazy("table1")),
+    ExperimentInfo(
+        "resilience", "Quality/power vs injected fault rate "
+        "(robustness extension: fail-safe governor watchdog)",
+        "Facebook, 30 s, meter_fail sweep with watchdog supervision",
+        ("repro.faults.injector", "repro.core.watchdog",
+         "repro.experiments.resilience"),
+        "benchmarks/bench_resilience_faults.py", _lazy("resilience")),
 )
 
 

@@ -1,0 +1,152 @@
+"""Resilience experiment — quality/power vs injected fault rate.
+
+The deployment question the paper cannot answer on perfect hardware:
+*does content-centric control degrade gracefully when its metering
+breaks?*  This experiment sweeps the ``meter_fail`` probability from 0
+to a heavy fault load and, at each point, runs the same session (same
+app, same seed, same Monkey script) under the watchdog-supervised
+governor, reporting
+
+* mean power (and the fixed-60 Hz baseline it saves against),
+* display quality relative to the fixed baseline,
+* watchdog activity: metering failures absorbed, fail-safe entries,
+  recoveries.
+
+The shape a fail-safe design must show: quality stays pinned near 100 %
+at *every* fault rate (the watchdog trades power, never quality), power
+climbs toward the fixed baseline as faults push the panel into the
+fail-safe maximum rate more often, and the session never crashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..analysis.tables import format_table
+from ..core.quality import quality_vs_baseline
+from ..errors import ConfigurationError
+from ..faults.plan import FaultPlan
+from ..sim.session import SessionConfig, run_session
+from ..units import ensure_positive
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Sweep parameters.
+
+    ``fault_rates`` are ``meter_fail`` probabilities per governor
+    decision; ``touch_drop`` optionally stresses the input path at the
+    same time (0 keeps the sweep single-variable).
+    """
+
+    app: str = "Facebook"
+    governor: str = "section+boost"
+    duration_s: float = 30.0
+    seed: int = 1
+    fault_seed: int = 0
+    fault_rates: Tuple[float, ...] = (0.0, 0.02, 0.05, 0.1, 0.25, 0.5)
+    touch_drop: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.duration_s, "duration_s")
+        if not self.fault_rates:
+            raise ConfigurationError("fault_rates must not be empty")
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """One operating point of the sweep."""
+
+    fault_rate: float
+    mean_power_mw: float
+    mean_refresh_hz: float
+    display_quality: float
+    injected_faults: int
+    meter_failures: int
+    failsafe_entries: int
+    recoveries: int
+
+
+@dataclass(frozen=True)
+class ResilienceResult:
+    """The sweep plus its fixed-60 Hz power reference."""
+
+    config: ResilienceConfig
+    baseline_power_mw: float
+    baseline_content_fps: float
+    rows: List[ResilienceRow]
+
+    def row_at(self, fault_rate: float) -> ResilienceRow:
+        """The row for one fault rate."""
+        for row in self.rows:
+            if row.fault_rate == fault_rate:
+                return row
+        raise KeyError(f"no row for fault rate {fault_rate}")
+
+    @property
+    def min_quality(self) -> float:
+        """Worst display quality across the sweep."""
+        return min(row.display_quality for row in self.rows)
+
+    def format(self) -> str:
+        rows = []
+        for r in self.rows:
+            rows.append([
+                f"{r.fault_rate:g}",
+                f"{r.mean_power_mw:.0f}",
+                f"{self.baseline_power_mw - r.mean_power_mw:.0f}",
+                f"{100 * r.display_quality:.1f}",
+                f"{r.mean_refresh_hz:.1f}",
+                f"{r.meter_failures}",
+                f"{r.failsafe_entries}",
+                f"{r.recoveries}",
+            ])
+        return format_table(
+            ["meter_fail", "power mW", "saved mW", "quality %",
+             "refresh Hz", "failures", "failsafes", "recoveries"],
+            rows,
+            title=f"Resilience: {self.config.app} under "
+                  f"{self.config.governor}, {self.config.duration_s:g} s"
+                  f" (baseline {self.baseline_power_mw:.0f} mW)")
+
+
+def run(config: Optional[ResilienceConfig] = None) -> ResilienceResult:
+    """Run the fault-rate sweep."""
+    config = config or ResilienceConfig()
+
+    def session(governor: str,
+                plan: Optional[FaultPlan]) -> "SessionConfig":
+        return SessionConfig(
+            app=config.app, governor=governor,
+            duration_s=config.duration_s, seed=config.seed,
+            faults=plan)
+
+    base = run_session(session("fixed", None))
+    baseline_power = base.power_report().mean_power_mw
+    baseline_content = base.mean_content_rate_fps
+
+    rows = []
+    for rate in config.fault_rates:
+        plan = None
+        if rate > 0.0 or config.touch_drop > 0.0:
+            plan = FaultPlan(meter_fail=rate,
+                             touch_drop=config.touch_drop,
+                             seed=config.fault_seed)
+        result = run_session(session(config.governor, plan))
+        faults = result.fault_summary_dict()
+        rows.append(ResilienceRow(
+            fault_rate=rate,
+            mean_power_mw=result.power_report().mean_power_mw,
+            mean_refresh_hz=result.mean_refresh_rate_hz,
+            display_quality=quality_vs_baseline(
+                result.mean_content_rate_fps, baseline_content),
+            injected_faults=faults["injected_total"],
+            meter_failures=faults["meter_failures"],
+            failsafe_entries=faults["failsafe_entries"],
+            recoveries=faults["recoveries"],
+        ))
+    return ResilienceResult(config=config,
+                            baseline_power_mw=baseline_power,
+                            baseline_content_fps=baseline_content,
+                            rows=rows)

@@ -1,0 +1,39 @@
+"""Fault injection: deterministic hardware-misbehaviour models.
+
+Real deployments of content-centric display management run against
+imperfect hardware: panel mode switches get refused or land late,
+framebuffer snapshots fail mid-copy, touch events are dropped or
+delayed by a loaded input stack.  This package injects exactly those
+faults into the simulated pipeline — *deterministically*, from a seeded
+:class:`~repro.faults.plan.FaultPlan` — so the robustness machinery
+(the governor watchdog, the hardened batch runner) can be exercised and
+measured with the same replayability every other experiment enjoys.
+
+Everything here is off by default: a session without a fault plan runs
+bit-identically to the pre-fault-injection code path.
+"""
+
+from .injector import FaultInjector, FaultRecord
+from .plan import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultWindow,
+    SITE_METER_FAIL,
+    SITE_PANEL_LATENCY,
+    SITE_PANEL_REFUSE,
+    SITE_TOUCH_DELAY,
+    SITE_TOUCH_DROP,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultWindow",
+    "SITE_METER_FAIL",
+    "SITE_PANEL_LATENCY",
+    "SITE_PANEL_REFUSE",
+    "SITE_TOUCH_DELAY",
+    "SITE_TOUCH_DROP",
+]

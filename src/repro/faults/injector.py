@@ -1,0 +1,121 @@
+"""The fault injector: seeded random draws plus the fault timeline.
+
+One :class:`FaultInjector` serves a whole session.  Each fault site
+gets its *own* random stream (spawned from the plan's root seed), so
+injection decisions at one site never perturb another site's sequence:
+adding ``touch_drop`` to a plan leaves the ``meter_fail`` timeline
+untouched — the property that makes fault sweeps comparable across
+configurations.
+
+Every fault that fires is recorded as a :class:`FaultRecord`, giving
+experiments a replayable fault timeline: two runs with the same plan
+(same seed) produce identical timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .plan import FAULT_SITES, FaultPlan
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault: when, where, and any magnitude drawn."""
+
+    time: float
+    site: str
+    detail: str = ""
+    magnitude_s: float = 0.0
+
+
+class FaultInjector:
+    """Draws fault decisions for a session, deterministically.
+
+    Parameters
+    ----------
+    plan:
+        The fault plan to execute.
+    seed:
+        Override of ``plan.seed`` (batch runners derive per-session
+        injector seeds this way without rebuilding plans).
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 seed: Optional[int] = None) -> None:
+        self.plan = plan
+        self.seed = plan.seed if seed is None else seed
+        # One independent stream per site: a fixed site index plus the
+        # root seed keys each generator, so draws at one site never
+        # consume another site's sequence.
+        self._rngs: Dict[str, np.random.Generator] = {
+            site: np.random.default_rng([index, self.seed])
+            for index, site in enumerate(FAULT_SITES)
+        }
+        self._timeline: List[FaultRecord] = []
+        self._counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Draws
+    # ------------------------------------------------------------------
+    def fires(self, site: str, now: float, detail: str = "",
+              magnitude_max_s: float = 0.0) -> bool:
+        """Decide whether ``site`` faults at ``now``; record it if so.
+
+        When the effective rate is zero no random number is consumed,
+        so a zero-rate plan leaves every stream untouched — the
+        injector is then behaviourally invisible.
+
+        ``magnitude_max_s`` > 0 additionally draws a uniform magnitude
+        in ``[0, magnitude_max_s)`` from the same stream and stores it
+        on the record; fetch it with :meth:`last_magnitude`.
+        """
+        rate = self.plan.rate_at(site, now)
+        if rate <= 0.0:
+            return False
+        rng = self._rngs[site]
+        if not (rate >= 1.0 or rng.random() < rate):
+            return False
+        magnitude = float(rng.random() * magnitude_max_s) \
+            if magnitude_max_s > 0.0 else 0.0
+        self._timeline.append(FaultRecord(time=now, site=site,
+                                          detail=detail,
+                                          magnitude_s=magnitude))
+        self._counts[site] = self._counts.get(site, 0) + 1
+        return True
+
+    def last_magnitude(self) -> float:
+        """Magnitude of the most recently fired fault (0 when none)."""
+        return self._timeline[-1].magnitude_s if self._timeline else 0.0
+
+    # ------------------------------------------------------------------
+    # Timeline
+    # ------------------------------------------------------------------
+    @property
+    def timeline(self) -> Tuple[FaultRecord, ...]:
+        """Every fault that fired, in injection order."""
+        return tuple(self._timeline)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Fault count per site (only sites that fired appear)."""
+        return dict(self._counts)
+
+    @property
+    def total_faults(self) -> int:
+        """Total faults injected so far."""
+        return len(self._timeline)
+
+    def count(self, site: str) -> int:
+        """Faults injected at one site."""
+        return self._counts.get(site, 0)
+
+    def summary_dict(self) -> dict:
+        """JSON-ready injection totals (feeds session summaries)."""
+        return {
+            "injected_total": self.total_faults,
+            "injected_by_site": self.counts,
+        }

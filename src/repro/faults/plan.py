@@ -1,0 +1,207 @@
+"""Fault plans: *what* can go wrong, how often, and when.
+
+A :class:`FaultPlan` is a frozen description of per-site fault
+probabilities plus optional scheduled bursts (:class:`FaultWindow`).
+Sites are the five places the simulated pipeline can misbehave:
+
+========================  ============================================
+site                      failure injected
+========================  ============================================
+``panel_refuse``          a refresh-rate switch request is refused by
+                          the panel (the request is silently dropped,
+                          as real mode-switch ioctls do under load)
+``panel_latency``         an accepted switch takes effect late — extra
+                          latency beyond the next frame boundary
+``meter_fail``            a framebuffer snapshot/compare fails, so the
+                          content-rate read raises ``MeteringError``
+``touch_drop``            a scripted touch event is never delivered
+``touch_delay``           a touch event is delivered late
+========================  ============================================
+
+Probabilities are per *opportunity* (per switch request, per meter
+read, per touch event).  A window overrides a site's base probability
+inside ``[start_s, end_s)`` — the tool for "meter fails hard for ten
+seconds mid-session" burst experiments.
+
+Plans are pure data: the random draws live in
+:class:`~repro.faults.injector.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import FaultInjectionError
+
+#: Fault-site identifiers (also the keys of the CLI spec format).
+SITE_PANEL_REFUSE = "panel_refuse"
+SITE_PANEL_LATENCY = "panel_latency"
+SITE_METER_FAIL = "meter_fail"
+SITE_TOUCH_DROP = "touch_drop"
+SITE_TOUCH_DELAY = "touch_delay"
+
+FAULT_SITES: Tuple[str, ...] = (
+    SITE_PANEL_REFUSE,
+    SITE_PANEL_LATENCY,
+    SITE_METER_FAIL,
+    SITE_TOUCH_DROP,
+    SITE_TOUCH_DELAY,
+)
+
+#: Magnitude knobs (not probabilities) accepted by :meth:`FaultPlan.parse`.
+_MAGNITUDE_KEYS = ("panel_latency_max_s", "touch_delay_max_s")
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """A scheduled burst: one site's probability inside a time window."""
+
+    site: str
+    start_s: float
+    end_s: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise FaultInjectionError(
+                f"unknown fault site {self.site!r}; known: {FAULT_SITES}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultInjectionError(
+                f"fault rate must be in [0, 1], got {self.rate} "
+                f"for {self.site!r}")
+        if not 0.0 <= self.start_s < self.end_s:
+            raise FaultInjectionError(
+                f"fault window needs 0 <= start < end, got "
+                f"[{self.start_s}, {self.end_s}) for {self.site!r}")
+
+    def covers(self, time: float) -> bool:
+        """True when ``time`` falls inside this window."""
+        return self.start_s <= time < self.end_s
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic description of injected faults.
+
+    Parameters
+    ----------
+    panel_refuse, panel_latency, meter_fail, touch_drop, touch_delay:
+        Base per-opportunity fault probabilities, each in [0, 1].
+    panel_latency_max_s:
+        Upper bound of the uniform extra switch latency drawn when a
+        ``panel_latency`` fault fires.
+    touch_delay_max_s:
+        Upper bound of the uniform delivery delay drawn when a
+        ``touch_delay`` fault fires.
+    windows:
+        Scheduled overrides; inside a window the matching site uses the
+        window's rate instead of its base rate (first covering window
+        wins).
+    seed:
+        Root seed of the injector's per-site random streams.
+    """
+
+    panel_refuse: float = 0.0
+    panel_latency: float = 0.0
+    meter_fail: float = 0.0
+    touch_drop: float = 0.0
+    touch_delay: float = 0.0
+    panel_latency_max_s: float = 0.05
+    touch_delay_max_s: float = 0.2
+    windows: Tuple[FaultWindow, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for site in FAULT_SITES:
+            rate = getattr(self, site)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultInjectionError(
+                    f"fault rate must be in [0, 1], got {rate} "
+                    f"for {site!r}")
+        for name in _MAGNITUDE_KEYS:
+            value = getattr(self, name)
+            if value < 0.0:
+                raise FaultInjectionError(
+                    f"{name} must be >= 0, got {value}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def rate_at(self, site: str, time: float) -> float:
+        """Effective probability of ``site`` faulting at ``time``."""
+        if site not in FAULT_SITES:
+            raise FaultInjectionError(
+                f"unknown fault site {site!r}; known: {FAULT_SITES}")
+        for window in self.windows:
+            if window.site == site and window.covers(time):
+                return window.rate
+        return getattr(self, site)
+
+    def any_active(self) -> bool:
+        """True when any base rate or window can ever fire."""
+        if any(getattr(self, site) > 0.0 for site in FAULT_SITES):
+            return True
+        return any(w.rate > 0.0 for w in self.windows)
+
+    # ------------------------------------------------------------------
+    # CLI spec format
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a ``key=value`` spec string.
+
+        Format: comma-separated ``site=rate`` entries, e.g.
+        ``panel_refuse=0.05,meter_fail=0.01,touch_drop=0.1``.  A site
+        key may carry a ``@start:end`` suffix to create a scheduled
+        burst instead of a base rate: ``meter_fail@10:20=1.0``.  The
+        magnitude knobs ``panel_latency_max_s`` / ``touch_delay_max_s``
+        are accepted as plain keys.
+        """
+        rates: Dict[str, float] = {}
+        windows = []
+        for raw in spec.split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            if "=" not in entry:
+                raise FaultInjectionError(
+                    f"bad fault spec entry {entry!r}: expected key=value")
+            key, _, value_text = entry.partition("=")
+            key = key.strip()
+            try:
+                value = float(value_text)
+            except ValueError:
+                raise FaultInjectionError(
+                    f"bad fault rate {value_text!r} for {key!r}") from None
+            if "@" in key:
+                site, _, span = key.partition("@")
+                start_text, sep, end_text = span.partition(":")
+                if not sep:
+                    raise FaultInjectionError(
+                        f"bad fault window {key!r}: expected "
+                        f"site@start:end")
+                try:
+                    start = float(start_text)
+                    end = float(end_text)
+                except ValueError:
+                    raise FaultInjectionError(
+                        f"bad fault window bounds in {key!r}") from None
+                windows.append(FaultWindow(site.strip(), start, end,
+                                           value))
+            elif key in FAULT_SITES or key in _MAGNITUDE_KEYS:
+                rates[key] = value
+            else:
+                raise FaultInjectionError(
+                    f"unknown fault spec key {key!r}; known: "
+                    f"{FAULT_SITES + _MAGNITUDE_KEYS}")
+        return cls(windows=tuple(windows), seed=seed, **rates)
+
+    def describe(self) -> str:
+        """One-line human summary (CLI echo, logs)."""
+        parts = [f"{site}={getattr(self, site):g}"
+                 for site in FAULT_SITES if getattr(self, site) > 0.0]
+        parts += [f"{w.site}@{w.start_s:g}:{w.end_s:g}={w.rate:g}"
+                  for w in self.windows]
+        body = ",".join(parts) if parts else "no faults"
+        return f"{body} (seed {self.seed})"

@@ -9,11 +9,14 @@ the paper's methodology relies on.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
+from ..faults.injector import FaultInjector
+from ..faults.plan import SITE_TOUCH_DELAY, SITE_TOUCH_DROP
 from ..sim.engine import Simulator
 
 
@@ -103,13 +106,23 @@ class TouchSource:
     Each event is scheduled at its absolute timestamp; every registered
     listener receives it.  Listeners added after :meth:`start` miss
     nothing as long as they are added before the first event fires.
+
+    With a fault injector attached, events can be dropped
+    (``touch_drop`` site: never delivered, like an overloaded input
+    stack) or delayed (``touch_delay`` site: delivered late with a
+    shifted timestamp, so downstream consumers see the arrival time the
+    governor would see on the device).
     """
 
-    def __init__(self, sim: Simulator, script: TouchScript) -> None:
+    def __init__(self, sim: Simulator, script: TouchScript,
+                 injector: Optional[FaultInjector] = None) -> None:
         self._sim = sim
         self.script = script
+        self._injector = injector
         self._listeners: List[TouchListener] = []
         self._delivered = 0
+        self._dropped = 0
+        self._delayed = 0
         self._started = False
 
     def add_listener(self, listener: TouchListener) -> None:
@@ -121,12 +134,42 @@ class TouchSource:
         """Events delivered so far."""
         return self._delivered
 
+    @property
+    def dropped(self) -> int:
+        """Scripted events dropped by injected ``touch_drop`` faults."""
+        return self._dropped
+
+    @property
+    def delayed(self) -> int:
+        """Scripted events delivered late (``touch_delay`` faults)."""
+        return self._delayed
+
     def start(self) -> None:
-        """Schedule every scripted event on the simulator."""
+        """Schedule every scripted event on the simulator.
+
+        Fault decisions are drawn here, in script order, which keeps
+        the injected timeline a deterministic function of
+        ``(script, plan)`` regardless of what the session does.
+        """
         if self._started:
             raise ConfigurationError("touch source already started")
         self._started = True
         for event in self.script:
+            if self._injector is not None:
+                if self._injector.fires(SITE_TOUCH_DROP, event.time,
+                                        detail=event.kind.value):
+                    self._dropped += 1
+                    continue
+                if self._injector.fires(
+                        SITE_TOUCH_DELAY, event.time,
+                        detail=event.kind.value,
+                        magnitude_max_s=self._injector.plan
+                        .touch_delay_max_s):
+                    delay = self._injector.last_magnitude()
+                    if delay > 0.0:
+                        self._delayed += 1
+                        event = dataclasses.replace(
+                            event, time=event.time + delay)
             self._sim.call_at(event.time, self._make_firer(event),
                               name="touch")
 

@@ -1,4 +1,4 @@
-"""Parallel batch execution of sessions.
+"""Hardened parallel batch execution of sessions.
 
 The 30-app survey is embarrassingly parallel (every session is an
 independent simulation), and multi-seed replication multiplies it
@@ -10,6 +10,18 @@ boundaries, and batch workflows only need the aggregate numbers anyway.
 Summaries are exactly :func:`repro.analysis.export.session_summary_dict`
 plus the traces the figures aggregate (binned rates and power), all
 plain numpy/python data.
+
+Resilience
+----------
+One misbehaving session must never take down a 30-app × multi-seed
+sweep.  Every config therefore runs *error-isolated*: a session that
+raises produces a structured **failure record** (see
+:func:`make_failure_record`) in its slot of the result list instead of
+poisoning the whole pool, optionally after ``retries`` re-attempts.
+Results always come back in input order, one entry per config; use
+:func:`is_failure_record` to separate the two kinds and
+:func:`batch_failure_summary` for the end-of-batch report.  Callers
+that prefer the old fail-fast behaviour pass ``on_error="raise"``.
 """
 
 from __future__ import annotations
@@ -20,6 +32,9 @@ from typing import Dict, List, Optional, Sequence
 from ..analysis.export import session_summary_dict
 from ..errors import ConfigurationError
 from .session import SessionConfig, run_session
+
+#: ``on_error`` modes of :func:`run_batch`.
+ON_ERROR_CHOICES = ("record", "raise")
 
 
 def run_session_summary(config: SessionConfig) -> Dict:
@@ -40,18 +55,145 @@ def run_session_summary(config: SessionConfig) -> Dict:
     return summary
 
 
+# ----------------------------------------------------------------------
+# Failure records
+# ----------------------------------------------------------------------
+
+def make_failure_record(index: int, config: SessionConfig,
+                        error: BaseException,
+                        attempts: int) -> Dict:
+    """Structured description of one failed session.
+
+    Keys: ``batch_failed`` (always True — the discriminator), config
+    identity (``config_index``, ``app``, ``governor``, ``seed``,
+    ``duration_s``), the error (``error_type``, ``error_message``,
+    ``context`` — the structured :class:`~repro.errors.ReproError`
+    context when available), and ``attempts`` (runs consumed including
+    retries).
+    """
+    app = config.app if isinstance(config.app, str) else \
+        getattr(config.app, "name", repr(config.app))
+    return {
+        "batch_failed": True,
+        "config_index": index,
+        "app": app,
+        "governor": config.governor,
+        "seed": config.seed,
+        "duration_s": config.duration_s,
+        "error_type": type(error).__name__,
+        "error_message": str(error),
+        "context": dict(getattr(error, "context", None) or {}),
+        "attempts": attempts,
+    }
+
+
+def is_failure_record(entry: Dict) -> bool:
+    """True when a :func:`run_batch` entry is a failure record."""
+    return bool(entry.get("batch_failed", False))
+
+
+def batch_failure_summary(results: Sequence[Dict]) -> Dict:
+    """End-of-batch report: totals plus every failure record.
+
+    Returns ``{"total", "succeeded", "failed", "failures"}`` where
+    ``failures`` preserves input order.
+    """
+    failures = [r for r in results if is_failure_record(r)]
+    return {
+        "total": len(results),
+        "succeeded": len(results) - len(failures),
+        "failed": len(failures),
+        "failures": failures,
+    }
+
+
+def format_batch_failures(results: Sequence[Dict]) -> str:
+    """Human-readable end-of-batch failure summary (one line each)."""
+    summary = batch_failure_summary(results)
+    lines = [f"batch: {summary['succeeded']}/{summary['total']} "
+             f"sessions succeeded"]
+    for record in summary["failures"]:
+        where = ""
+        context = record["context"]
+        if context:
+            inside = ", ".join(f"{k}={v}" for k, v in context.items())
+            where = f" [{inside}]"
+        lines.append(
+            f"  #{record['config_index']} {record['app']} "
+            f"({record['governor']}, seed {record['seed']}): "
+            f"{record['error_type']}: {record['error_message']}"
+            f"{where} after {record['attempts']} attempt(s)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Isolated execution
+# ----------------------------------------------------------------------
+
+def _run_isolated(index: int, config: SessionConfig,
+                  retries: int) -> Dict:
+    """Run one config, catching anything it raises.
+
+    Module-level (picklable) pool worker.  Returns either a summary or
+    a failure record; never raises.  A deterministic simulation fails
+    identically on every attempt, so retries mainly cover sessions made
+    flaky by their environment (pool pressure, memory) — but they are
+    honoured uniformly so callers get one knob.
+    """
+    error: Optional[BaseException] = None
+    attempts = 0
+    for attempts in range(1, retries + 2):
+        try:
+            return run_session_summary(config)
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            error = exc
+    assert error is not None
+    return make_failure_record(index, config, error, attempts)
+
+
+def _run_strict(index: int, config: SessionConfig,
+                retries: int) -> Dict:
+    """Pool worker for ``on_error="raise"``: last failure propagates."""
+    error: Optional[BaseException] = None
+    for _ in range(retries + 1):
+        try:
+            return run_session_summary(config)
+        except Exception as exc:  # noqa: BLE001
+            error = exc
+    assert error is not None
+    raise error
+
+
 def run_batch(configs: Sequence[SessionConfig],
-              processes: Optional[int] = None) -> List[Dict]:
+              processes: Optional[int] = None,
+              *,
+              retries: int = 0,
+              timeout_s: Optional[float] = None,
+              on_error: str = "record") -> List[Dict]:
     """Run many sessions, in parallel when it pays off.
 
     Parameters
     ----------
     configs:
-        The sessions to run; results come back in the same order.
+        The sessions to run; results come back in the same order, one
+        entry per config (summary dict or failure record).
     processes:
         Worker count.  ``None`` picks ``min(cpu_count, len(configs))``;
         1 (or a single config) runs in-process, which is also the
-        deterministic fallback on platforms without fork.
+        deterministic fallback on platforms without fork.  The serial
+        path applies the same isolation semantics as the pool.
+    retries:
+        Extra attempts per failing session before recording (or
+        raising) its failure.
+    timeout_s:
+        Per-session wall-clock budget, enforced in pooled mode: a
+        session still running after its budget yields a timeout failure
+        record (its worker is left to finish in the background).  Not
+        enforceable in-process, so the serial path ignores it.
+    on_error:
+        ``"record"`` (default) turns a failing session into a
+        structured failure record in its result slot; ``"raise"``
+        restores fail-fast propagation of the first error.
     """
     configs = list(configs)
     if not configs:
@@ -61,12 +203,43 @@ def run_batch(configs: Sequence[SessionConfig],
     if processes < 1:
         raise ConfigurationError(f"processes must be >= 1, got "
                                  f"{processes}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigurationError(
+            f"timeout_s must be > 0, got {timeout_s}")
+    if on_error not in ON_ERROR_CHOICES:
+        raise ConfigurationError(
+            f"on_error must be one of {ON_ERROR_CHOICES}, "
+            f"got {on_error!r}")
+    worker = _run_isolated if on_error == "record" else _run_strict
+
     if processes == 1 or len(configs) == 1:
-        return [run_session_summary(config) for config in configs]
+        return [worker(index, config, retries)
+                for index, config in enumerate(configs)]
     try:
-        with multiprocessing.Pool(processes) as pool:
-            return pool.map(run_session_summary, configs)
+        pool = multiprocessing.Pool(processes)
     except (OSError, ValueError):
         # Pool creation can fail in constrained sandboxes; the batch
-        # still completes, just serially.
-        return [run_session_summary(config) for config in configs]
+        # still completes — serially, with identical isolation.
+        return [worker(index, config, retries)
+                for index, config in enumerate(configs)]
+    with pool:
+        pending = [pool.apply_async(worker, (index, config, retries))
+                   for index, config in enumerate(configs)]
+        results: List[Dict] = []
+        for index, (config, handle) in enumerate(zip(configs, pending)):
+            try:
+                results.append(handle.get(timeout_s))
+            except multiprocessing.TimeoutError:
+                record = make_failure_record(
+                    index, config,
+                    TimeoutError(f"session exceeded {timeout_s:g} s"),
+                    attempts=1)
+                if on_error == "raise":
+                    pool.terminate()
+                    raise TimeoutError(
+                        f"session #{index} ({record['app']}) exceeded "
+                        f"{timeout_s:g} s") from None
+                results.append(record)
+        return results

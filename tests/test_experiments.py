@@ -192,7 +192,8 @@ class TestRegistry:
     def test_every_paper_artifact_registered(self):
         ids = {e.experiment_id for e in EXPERIMENTS}
         assert ids == {"fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
-                       "fig9", "fig10", "fig11", "table1"}
+                       "fig9", "fig10", "fig11", "table1",
+                       "resilience"}
 
     def test_lookup(self):
         info = experiment("fig9")
