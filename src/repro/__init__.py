@@ -77,6 +77,7 @@ from .errors import (
     MeteringError,
     ReproError,
     SimulationError,
+    TelemetryError,
     WorkloadError,
 )
 from .faults import (
@@ -104,6 +105,7 @@ from .power import (
 from .sim import Simulator
 from .sim.batch import (
     batch_failure_summary,
+    batch_metrics,
     format_batch_failures,
     is_failure_record,
     make_failure_record,
@@ -122,6 +124,25 @@ from .sim.session import (
     SessionResult,
     run_session,
 )
+from .telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlSink,
+    MetricsRegistry,
+    NullSink,
+    RingBufferSink,
+    TelemetryConfig,
+    TelemetryEvent,
+    TelemetryHub,
+    TelemetrySink,
+    build_hub,
+    format_stats,
+    parse_jsonl,
+    summarize_events,
+    summarize_jsonl,
+    timed,
+)
 
 __version__ = "1.0.0"
 
@@ -132,6 +153,7 @@ __all__ = [
     "ConfigurationError",
     "ContentCentricManager",
     "ContentRateMeter",
+    "Counter",
     "DisplayError",
     "DisplayPanel",
     "DoubleBuffer",
@@ -148,19 +170,24 @@ __all__ = [
     "GAME_APP_NAMES",
     "GENERAL_APP_NAMES",
     "GOVERNOR_CHOICES",
+    "Gauge",
     "GovernorWatchdog",
     "GraphicsError",
     "GridComparator",
     "GridSpec",
+    "Histogram",
+    "JsonlSink",
     "LTPO_120_PANEL",
     "LiveWallpaper",
     "ManagerConfig",
     "MeterConfig",
     "MeteringError",
+    "MetricsRegistry",
     "MonkeyConfig",
     "MonkeyScriptGenerator",
     "MonsoonMeter",
     "NaiveMatchGovernor",
+    "NullSink",
     "OracleGovernor",
     "PanelSpec",
     "PowerCalibration",
@@ -168,6 +195,7 @@ __all__ = [
     "PowerReport",
     "QualityReport",
     "ReproError",
+    "RingBufferSink",
     "SampledDoubleBuffer",
     "ScenarioConfig",
     "ScenarioResult",
@@ -182,6 +210,11 @@ __all__ = [
     "Surface",
     "SurfaceManager",
     "THREE_LEVEL_PANEL",
+    "TelemetryConfig",
+    "TelemetryError",
+    "TelemetryEvent",
+    "TelemetryHub",
+    "TelemetrySink",
     "TouchBoostGovernor",
     "TouchEvent",
     "TouchKind",
@@ -193,17 +226,24 @@ __all__ = [
     "all_app_names",
     "app_profile",
     "batch_failure_summary",
+    "batch_metrics",
+    "build_hub",
     "compute_quality",
     "format_batch_failures",
+    "format_stats",
     "galaxy_s3_calibration",
     "is_failure_record",
     "make_failure_record",
     "nexus_revamped",
     "panel_preset",
     "panel_preset_names",
+    "parse_jsonl",
     "run_batch",
     "run_scenario",
     "run_session",
     "run_session_summary",
+    "summarize_events",
+    "summarize_jsonl",
+    "timed",
     "__version__",
 ]

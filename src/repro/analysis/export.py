@@ -18,10 +18,16 @@ PathLike = Union[str, pathlib.Path]
 
 
 def session_summary_dict(result) -> dict:
-    """A JSON-ready summary of one session."""
+    """A JSON-ready summary of one session.
+
+    A ``telemetry`` block appears **only** when the session ran with
+    telemetry enabled — summaries of untelemetered sessions stay
+    byte-identical to the pre-telemetry schema (the equivalence tests
+    rely on this).
+    """
     report = result.power_report()
     quality = result.quality_report()
-    return {
+    summary = {
         "app": result.profile.name,
         "category": result.profile.category.value,
         "governor": result.governor_name,
@@ -40,6 +46,10 @@ def session_summary_dict(result) -> dict:
         "touches": len(result.touch_script),
         "faults": result.fault_summary_dict(),
     }
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is not None:
+        summary["telemetry"] = telemetry.summary_dict()
+    return summary
 
 
 def write_session_json(result, path: PathLike) -> pathlib.Path:

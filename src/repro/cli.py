@@ -6,6 +6,8 @@ Everything the examples do, scriptable::
     python -m repro table --panel galaxy-s3   # print the section table
     python -m repro table --rates 30,60,120   # ... for custom levels
     python -m repro run --app Facebook --governor section+boost
+    python -m repro run --app Facebook --telemetry out.jsonl
+    python -m repro stats out.jsonl           # summarize a telemetry stream
     python -m repro compare --app "Jelly Splash" --duration 45
     python -m repro experiment fig6           # regenerate a paper figure
 
@@ -32,6 +34,8 @@ from .display.presets import panel_preset, panel_preset_names
 from .errors import ReproError
 from .experiments.registry import EXPERIMENTS, experiment
 from .sim.session import GOVERNOR_CHOICES, SessionConfig, run_session
+from .telemetry.hub import TelemetryConfig
+from .telemetry.stats import format_stats, summarize_jsonl
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="e.g. fig6, table1; omit to list all")
     p_exp.set_defaults(func=cmd_experiment)
 
+    p_stats = sub.add_parser(
+        "stats", help="summarize a telemetry JSONL stream")
+    p_stats.add_argument("jsonl", help="stream written by "
+                                       "'run --telemetry'")
+    p_stats.set_defaults(func=cmd_stats)
+
     return parser
 
 
@@ -127,6 +137,18 @@ def _add_session_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="seed of the fault injector's random "
                              "streams (default 0)")
+    parser.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="capture a structured event stream "
+                             "(rate switches, boosts, spans, ...) to "
+                             "this JSONL file; summarize it with "
+                             "'repro stats PATH'")
+
+
+def _resolve_telemetry(args: argparse.Namespace):
+    """The :class:`TelemetryConfig` requested, or None (disabled)."""
+    if getattr(args, "telemetry", None) is None:
+        return None
+    return TelemetryConfig(jsonl_path=args.telemetry)
 
 
 def _resolve_faults(args: argparse.Namespace):
@@ -179,7 +201,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         duration_s=args.duration, seed=args.seed,
         panel=panel_preset(args.panel),
         track_oled=args.oled,
-        faults=_resolve_faults(args)))
+        faults=_resolve_faults(args),
+        telemetry=_resolve_telemetry(args)))
     report = result.power_report()
     print(f"app:            {result.profile.name} "
           f"({result.profile.category.value})")
@@ -211,6 +234,11 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"failures, {faults['failsafe_entries']} fail-safe "
               f"entries, {faults['recoveries']} recoveries "
               f"(final state {faults['watchdog_state']})")
+    if result.telemetry is not None:
+        hub = result.telemetry
+        print(f"telemetry:      {hub.events_total} events "
+              f"({args.telemetry}); "
+              f"summarize with 'repro stats {args.telemetry}'")
     return 0
 
 
@@ -248,7 +276,8 @@ def cmd_export(args: argparse.Namespace) -> int:
         app=args.app, governor=args.governor,
         duration_s=args.duration, seed=args.seed,
         panel=panel_preset(args.panel),
-        faults=_resolve_faults(args)))
+        faults=_resolve_faults(args),
+        telemetry=_resolve_telemetry(args)))
     json_path = write_session_json(result, f"{args.out}.json")
     trace_path = write_trace_csv(result, f"{args.out}_trace.csv")
     events_path = write_events_csv(result, f"{args.out}_events.csv")
@@ -320,6 +349,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     print(f"Running {info.experiment_id}: {info.paper_content} ...")
     result = info.runner()
     print(result.format())
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    print(format_stats(summarize_jsonl(args.jsonl)))
     return 0
 
 

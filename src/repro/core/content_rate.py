@@ -21,9 +21,16 @@ from ..faults.injector import FaultInjector
 from ..faults.plan import SITE_METER_FAIL
 from ..graphics.framebuffer import Framebuffer
 from ..sim.tracing import EventLog
+from ..telemetry.hub import TelemetryHub
+from ..telemetry.profiling import timed
 from ..units import ensure_positive
 from .double_buffer import DoubleBuffer, SampledDoubleBuffer
 from .grid import GridComparator, GridSpec
+
+#: Span names of the metering hot path (Figure 6's measured cost).
+SPAN_GRID_COMPARE = "meter.grid_compare"
+SPAN_BUFFER_COPY = "meter.buffer_copy"
+SPAN_CONTENT_READ = "meter.content_rate"
 
 
 @dataclass(frozen=True)
@@ -88,14 +95,22 @@ class ContentRateMeter:
         :meth:`content_rate` raises :class:`~repro.errors.MeteringError`
         with structured context.  None leaves the meter exactly as
         before.
+    telemetry:
+        Optional telemetry hub.  When present the metering hot path is
+        profiled (``meter.grid_compare``, ``meter.buffer_copy`` spans
+        per frame, ``meter.content_rate`` per read) and per-frame
+        totals are counted under ``meter.*``.  None — the default —
+        runs the original code path with no timing calls.
     """
 
     def __init__(self, framebuffer: Framebuffer,
                  config: Optional[MeterConfig] = None,
-                 injector: Optional[FaultInjector] = None) -> None:
+                 injector: Optional[FaultInjector] = None,
+                 telemetry: Optional[TelemetryHub] = None) -> None:
         self.config = config or MeterConfig()
         self._framebuffer = framebuffer
         self._injector = injector
+        self._telemetry = telemetry
         self._read_failures = 0
         shape = (framebuffer.height, framebuffer.width)
         self.grid = GridSpec.from_sample_count(shape,
@@ -123,18 +138,35 @@ class ContentRateMeter:
         pixels = framebuffer.pixels
         self._frames.append(time)
         previous = self._store.previous
-        if self.config.min_changed_cells == 1:
-            meaningful = not self.comparator.frames_equal(pixels, previous)
-        else:
-            changed = self.comparator.count_changed(pixels, previous)
-            meaningful = changed >= self.config.min_changed_cells
+        telemetry = self._telemetry
+        if telemetry is None:
+            # The uninstrumented fast path: no clock reads, no
+            # allocations beyond the comparison itself.
+            meaningful = self._frame_meaningful(pixels, previous)
+            if meaningful:
+                self._meaningful.append(time)
+            self._store.capture(pixels)
+            return
+        with telemetry.span(SPAN_GRID_COMPARE, time):
+            meaningful = self._frame_meaningful(pixels, previous)
         if meaningful:
             self._meaningful.append(time)
-        self._store.capture(pixels)
+            telemetry.metrics.counter("meter.meaningful_frames").inc()
+        telemetry.metrics.counter("meter.frames").inc()
+        with telemetry.span(SPAN_BUFFER_COPY, time):
+            self._store.capture(pixels)
+
+    def _frame_meaningful(self, pixels, previous) -> bool:
+        """The frame-diff judgement (the grid-comparison hot path)."""
+        if self.config.min_changed_cells == 1:
+            return not self.comparator.frames_equal(pixels, previous)
+        changed = self.comparator.count_changed(pixels, previous)
+        return changed >= self.config.min_changed_cells
 
     # ------------------------------------------------------------------
     # Rates
     # ------------------------------------------------------------------
+    @timed(SPAN_CONTENT_READ, time_arg=0)
     def content_rate(self, now: float,
                      window_s: Optional[float] = None) -> float:
         """Meaningful frames per second over the trailing window.

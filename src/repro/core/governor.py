@@ -25,6 +25,11 @@ from ..errors import ConfigurationError
 from ..display.panel import DisplayPanel
 from ..sim.engine import PeriodicTask, Simulator
 from ..sim.tracing import TimeSeries
+from ..telemetry.events import (
+    EVENT_SECTION_TRANSITION,
+    EVENT_TOUCH_BOOST,
+)
+from ..telemetry.hub import TelemetryHub
 from ..units import ensure_positive
 from .content_rate import ContentRateMeter
 from .section_table import SectionTable
@@ -157,11 +162,19 @@ class GovernorDriver:
         Seconds between periodic decisions.  200 ms keeps control lag
         well under the content-rate window while making the governor's
         own CPU cost negligible.
+    telemetry:
+        Optional telemetry hub.  When present the driver emits
+        ``section_transition`` events when a periodic decision changes
+        the selected rate, ``touch_boost`` events for immediate touch
+        overrides, counts decisions and touches under ``governor.*``,
+        and feeds the ``governor.selected_rate_hz`` histogram (bucket
+        edges: the panel's discrete levels).  None adds nothing.
     """
 
     def __init__(self, sim: Simulator, panel: DisplayPanel,
                  policy: GovernorPolicy,
-                 decision_period_s: float = 0.2) -> None:
+                 decision_period_s: float = 0.2,
+                 telemetry: Optional[TelemetryHub] = None) -> None:
         self._sim = sim
         self._panel = panel
         self.policy = policy
@@ -170,6 +183,14 @@ class GovernorDriver:
         self._decisions = TimeSeries("governor_decisions_hz")
         self._task: Optional[PeriodicTask] = None
         self._touch_times: List[float] = []
+        self._telemetry = telemetry
+        self._last_periodic_rate: Optional[float] = None
+        if telemetry is not None:
+            # Register the rate histogram up front so its (fixed)
+            # bucket edges appear even in sessions with no decisions.
+            telemetry.metrics.histogram(
+                "governor.selected_rate_hz",
+                sorted(panel.spec.refresh_rates_hz))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -197,15 +218,31 @@ class GovernorDriver:
         it is applied without waiting for the next decision tick.
         """
         self._touch_times.append(time)
+        if self._telemetry is not None:
+            self._telemetry.metrics.counter("governor.touches").inc()
         immediate = self.policy.on_touch(time)
         if immediate is not None:
             self._panel.set_refresh_rate(immediate)
             self._decisions.append(time, immediate)
+            if self._telemetry is not None:
+                self._telemetry.metrics.counter(
+                    "governor.touch_boosts").inc()
+                self._telemetry.emit(EVENT_TOUCH_BOOST, time,
+                                     rate_hz=immediate)
 
     def _decide(self, sim: Simulator) -> None:
         rate = self.policy.select_rate(sim.now)
         self._panel.set_refresh_rate(rate)
         self._decisions.append(sim.now, rate)
+        if self._telemetry is not None:
+            self._telemetry.metrics.counter("governor.decisions").inc()
+            self._telemetry.metrics.histogram(
+                "governor.selected_rate_hz").observe(rate)
+            last = self._last_periodic_rate
+            if last is not None and rate != last:
+                self._telemetry.emit(EVENT_SECTION_TRANSITION, sim.now,
+                                     from_hz=last, to_hz=rate)
+        self._last_periodic_rate = rate
 
     # ------------------------------------------------------------------
     # Introspection

@@ -18,6 +18,7 @@ from ..errors import ConfigurationError
 from ..faults.injector import FaultInjector
 from ..graphics.framebuffer import Framebuffer
 from ..sim.engine import Simulator
+from ..telemetry.hub import TelemetryHub
 from ..units import ensure_positive
 from .content_rate import ContentRateMeter, MeterConfig
 from .governor import (
@@ -91,17 +92,24 @@ class ContentCentricManager:
         set — the policy stack is wrapped in a
         :class:`~repro.core.watchdog.GovernorWatchdog` that fails safe
         to the panel maximum when metering breaks.
+    telemetry:
+        Optional telemetry hub (observability extension), threaded
+        into the meter, the watchdog and the driver.  The panel is
+        constructed by the caller, so instrument it there.  None — the
+        default — builds the uninstrumented system.
     """
 
     def __init__(self, sim: Simulator, panel: DisplayPanel,
                  framebuffer: Framebuffer,
                  config: Optional[ManagerConfig] = None,
                  policy: Optional[GovernorPolicy] = None,
-                 injector: Optional[FaultInjector] = None) -> None:
+                 injector: Optional[FaultInjector] = None,
+                 telemetry: Optional[TelemetryHub] = None) -> None:
         self.config = config or ManagerConfig()
         self.panel = panel
         self.meter = ContentRateMeter(framebuffer, self.config.meter,
-                                      injector=injector)
+                                      injector=injector,
+                                      telemetry=telemetry)
         self.table = SectionTable.for_panel(panel.spec)
         if policy is None:
             section = SectionBasedGovernor(self.table, self.meter)
@@ -115,11 +123,13 @@ class ContentCentricManager:
         if injector is not None and self.config.watchdog:
             self.watchdog = GovernorWatchdog(
                 policy, failsafe_rate_hz=panel.spec.max_refresh_hz,
-                config=self.config.watchdog_config)
+                config=self.config.watchdog_config,
+                telemetry=telemetry)
             policy = self.watchdog
         self.policy = policy
         self.driver = GovernorDriver(sim, panel, policy,
-                                     self.config.decision_period_s)
+                                     self.config.decision_period_s,
+                                     telemetry=telemetry)
         self._started = False
 
     # ------------------------------------------------------------------

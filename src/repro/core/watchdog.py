@@ -40,6 +40,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..errors import ConfigurationError, MeteringError
+from ..telemetry.events import EVENT_WATCHDOG_STATE
+from ..telemetry.hub import TelemetryHub
 from ..units import ensure_positive
 from .governor import GovernorPolicy
 
@@ -98,11 +100,20 @@ class GovernorWatchdog(GovernorPolicy):
         broken meter costs power, never quality.
     config:
         Degradation-ladder tunables.
+    telemetry:
+        Optional telemetry hub; every ladder move becomes a
+        ``watchdog_state`` event.  Counters are *not* incremented here
+        — :meth:`summary_dict` stays the single emission path for
+        watchdog totals (the session snapshots it into the metrics
+        registry at the end, so ``faults`` and ``telemetry`` schemas
+        never double-book).
     """
 
     def __init__(self, inner: GovernorPolicy, failsafe_rate_hz: float,
-                 config: Optional[WatchdogConfig] = None) -> None:
+                 config: Optional[WatchdogConfig] = None,
+                 telemetry: Optional[TelemetryHub] = None) -> None:
         self.inner = inner
+        self._telemetry = telemetry
         self.failsafe_rate_hz = ensure_positive(failsafe_rate_hz,
                                                 "failsafe_rate_hz")
         self.config = config or WatchdogConfig()
@@ -172,8 +183,12 @@ class GovernorWatchdog(GovernorPolicy):
         self._retry_at = float("-inf")
 
     def _enter(self, now: float, state: str) -> None:
+        previous = self._state
         self._state = state
         self._transitions.append((now, state))
+        if self._telemetry is not None:
+            self._telemetry.emit(EVENT_WATCHDOG_STATE, now,
+                                 from_state=previous, to_state=state)
 
     def _degraded_rate(self) -> float:
         if self._state == STATE_FAILSAFE:

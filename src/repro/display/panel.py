@@ -20,6 +20,8 @@ from ..faults.injector import FaultInjector
 from ..faults.plan import SITE_PANEL_LATENCY, SITE_PANEL_REFUSE
 from ..sim.engine import EventHandle, Simulator
 from ..sim.tracing import StepSeries
+from ..telemetry.events import EVENT_RATE_SWITCH, EVENT_VSYNC_CLIP
+from ..telemetry.hub import TelemetryHub
 from .spec import PanelSpec
 
 #: Callback fired at each V-Sync: ``(time)``.
@@ -47,20 +49,29 @@ class DisplayPanel:
         like a busy mode-switch ioctl) and accepted switches may land
         late (``panel_latency`` site — extra delay beyond the frame
         boundary).  None leaves the panel exactly as before.
+    telemetry:
+        Optional telemetry hub.  When present the panel emits
+        ``rate_switch`` events for every effective rate change,
+        ``vsync_clip`` events when a request waited for the frame
+        boundary, and maintains ``panel.*`` counters.  None (the
+        default) adds no instrumentation at all.
     """
 
     def __init__(self, sim: Simulator, spec: PanelSpec,
                  initial_rate_hz: Optional[float] = None,
-                 injector: Optional[FaultInjector] = None) -> None:
+                 injector: Optional[FaultInjector] = None,
+                 telemetry: Optional[TelemetryHub] = None) -> None:
         self._sim = sim
         self.spec = spec
         self._injector = injector
+        self._telemetry = telemetry
         self._refused_switches = 0
         self._delayed_switches = 0
         rate = (spec.max_refresh_hz if initial_rate_hz is None
                 else spec.validate_rate(initial_rate_hz))
         self._rate = rate
         self._pending_rate: Optional[float] = None
+        self._pending_since = 0.0
         self._vsync_listeners: List[VsyncListener] = []
         self._rate_listeners: List[RateChangeListener] = []
         self._vsync_count = 0
@@ -149,12 +160,16 @@ class DisplayPanel:
                 SITE_PANEL_REFUSE, self._sim.now,
                 detail=f"requested {rate:g} Hz"):
             self._refused_switches += 1
+            if self._telemetry is not None:
+                self._telemetry.metrics.counter(
+                    "panel.refused_switches").inc()
             return
         if not self._running:
             # Before scan-out starts the switch is immediate.
             self._apply_rate(rate)
             return
         self._pending_rate = rate
+        self._pending_since = self._sim.now
 
     # ------------------------------------------------------------------
     # Listeners
@@ -173,9 +188,14 @@ class DisplayPanel:
     def _apply_rate(self, rate: float) -> None:
         if rate == self._rate:
             return
+        previous = self._rate
         self._rate = rate
         self._rate_switches += 1
         self._rate_history.set(self._sim.now, rate)
+        if self._telemetry is not None:
+            self._telemetry.metrics.counter("panel.rate_switches").inc()
+            self._telemetry.emit(EVENT_RATE_SWITCH, self._sim.now,
+                                 from_hz=previous, to_hz=rate)
         for listener in self._rate_listeners:
             listener(self._sim.now, rate)
 
@@ -188,6 +208,8 @@ class DisplayPanel:
         if not self._running:
             return
         self._vsync_count += 1
+        if self._telemetry is not None:
+            self._telemetry.metrics.counter("panel.vsyncs").inc()
         for listener in self._vsync_listeners:
             listener(sim.now)
         # A pending switch takes effect at this frame boundary: the
@@ -195,6 +217,11 @@ class DisplayPanel:
         if self._pending_rate is not None:
             pending = self._pending_rate
             self._pending_rate = None
+            if self._telemetry is not None:
+                self._telemetry.metrics.counter("panel.vsync_clips").inc()
+                self._telemetry.emit(
+                    EVENT_VSYNC_CLIP, sim.now, rate_hz=pending,
+                    waited_s=sim.now - self._pending_since)
             delay = 0.0
             if self._injector is not None and self._injector.fires(
                     SITE_PANEL_LATENCY, sim.now,
@@ -203,6 +230,9 @@ class DisplayPanel:
                 delay = self._injector.last_magnitude()
             if delay > 0.0:
                 self._delayed_switches += 1
+                if self._telemetry is not None:
+                    self._telemetry.metrics.counter(
+                        "panel.delayed_switches").inc()
                 self._sim.call_after(
                     delay, self._make_late_apply(pending),
                     name="rate-switch-late")

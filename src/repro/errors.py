@@ -65,6 +65,12 @@ class WorkloadError(ReproError):
     from the catalog)."""
 
 
+class TelemetryError(ReproError):
+    """Telemetry subsystem misuse (e.g. emitting an event kind outside
+    the taxonomy, re-registering a metric under a different type, or
+    summarizing an unparseable JSONL stream)."""
+
+
 class FaultInjectionError(ReproError):
     """Fault-injection subsystem misuse (e.g. an unknown fault site in
     a plan spec, or a rate outside [0, 1]).  Note: *injected* faults do

@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..telemetry.events import EVENT_FAULT_INJECTED
+from ..telemetry.hub import TelemetryHub
 from .plan import FAULT_SITES, FaultPlan
 
 
@@ -42,12 +44,21 @@ class FaultInjector:
     seed:
         Override of ``plan.seed`` (batch runners derive per-session
         injector seeds this way without rebuilding plans).
+    telemetry:
+        Optional telemetry hub; every fault that fires is additionally
+        emitted as a ``fault_injected`` event.  The injection *draws*
+        are identical with or without it — telemetry never touches the
+        random streams.  Per-site totals stay in :meth:`summary_dict`
+        (the single emission path the session snapshots into the
+        metrics registry).
     """
 
     def __init__(self, plan: FaultPlan,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 telemetry: Optional[TelemetryHub] = None) -> None:
         self.plan = plan
         self.seed = plan.seed if seed is None else seed
+        self._telemetry = telemetry
         # One independent stream per site: a fixed site index plus the
         # root seed keys each generator, so draws at one site never
         # consume another site's sequence.
@@ -85,6 +96,9 @@ class FaultInjector:
                                           detail=detail,
                                           magnitude_s=magnitude))
         self._counts[site] = self._counts.get(site, 0) + 1
+        if self._telemetry is not None:
+            self._telemetry.emit(EVENT_FAULT_INJECTED, now, site=site,
+                                 detail=detail, magnitude_s=magnitude)
         return True
 
     def last_magnitude(self) -> float:

@@ -27,10 +27,11 @@ that prefer the old fail-fast behaviour pass ``on_error="raise"``.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..analysis.export import session_summary_dict
 from ..errors import ConfigurationError
+from ..telemetry.metrics import MetricsRegistry
 from .session import SessionConfig, run_session
 
 #: ``on_error`` modes of :func:`run_batch`.
@@ -92,18 +93,48 @@ def is_failure_record(entry: Dict) -> bool:
     return bool(entry.get("batch_failed", False))
 
 
+def batch_metrics(results: Sequence[Dict]) -> MetricsRegistry:
+    """Batch-level counters under ``batch.*``, as a metrics registry.
+
+    Counted: ``batch.sessions_total`` / ``_succeeded`` / ``_failed``,
+    ``batch.retry_attempts`` (extra attempts consumed by failing
+    sessions beyond their first run) and ``batch.timeouts`` (failures
+    whose error was the pool's per-session wall-clock budget).
+    """
+    metrics = MetricsRegistry()
+    total = metrics.counter("batch.sessions_total")
+    succeeded = metrics.counter("batch.sessions_succeeded")
+    failed = metrics.counter("batch.sessions_failed")
+    retries = metrics.counter("batch.retry_attempts")
+    timeouts = metrics.counter("batch.timeouts")
+    for entry in results:
+        total.inc()
+        if not is_failure_record(entry):
+            succeeded.inc()
+            continue
+        failed.inc()
+        retries.inc(max(0, entry.get("attempts", 1) - 1))
+        if entry.get("error_type") == "TimeoutError":
+            timeouts.inc()
+    return metrics
+
+
 def batch_failure_summary(results: Sequence[Dict]) -> Dict:
     """End-of-batch report: totals plus every failure record.
 
-    Returns ``{"total", "succeeded", "failed", "failures"}`` where
-    ``failures`` preserves input order.
+    Returns ``{"total", "succeeded", "failed", "failures",
+    "counters"}`` where ``failures`` preserves input order and
+    ``counters`` is the :func:`batch_metrics` registry snapshot
+    (flat ``batch.*`` name -> count).
     """
     failures = [r for r in results if is_failure_record(r)]
+    counters = dict(batch_metrics(results).as_dict()["counters"])
     return {
         "total": len(results),
         "succeeded": len(results) - len(failures),
         "failed": len(failures),
         "failures": failures,
+        "counters": counters,
     }
 
 
@@ -169,7 +200,9 @@ def run_batch(configs: Sequence[SessionConfig],
               *,
               retries: int = 0,
               timeout_s: Optional[float] = None,
-              on_error: str = "record") -> List[Dict]:
+              on_error: str = "record",
+              progress: Optional[Callable[[int, int, Dict], None]]
+              = None) -> List[Dict]:
     """Run many sessions, in parallel when it pays off.
 
     Parameters
@@ -194,6 +227,12 @@ def run_batch(configs: Sequence[SessionConfig],
         ``"record"`` (default) turns a failing session into a
         structured failure record in its result slot; ``"raise"``
         restores fail-fast propagation of the first error.
+    progress:
+        Called as ``progress(done, total, entry)`` after each session
+        resolves (in input order), where ``entry`` is that session's
+        summary or failure record.  Drives batch progress reporting —
+        the CLI prints per-session status lines from exactly this
+        hook.  A raising callback propagates; keep it cheap.
     """
     configs = list(configs)
     if not configs:
@@ -213,17 +252,20 @@ def run_batch(configs: Sequence[SessionConfig],
             f"on_error must be one of {ON_ERROR_CHOICES}, "
             f"got {on_error!r}")
     worker = _run_isolated if on_error == "record" else _run_strict
+    total = len(configs)
 
-    if processes == 1 or len(configs) == 1:
-        return [worker(index, config, retries)
-                for index, config in enumerate(configs)]
+    def _note(done: int, entry: Dict) -> None:
+        if progress is not None:
+            progress(done, total, entry)
+
+    if processes == 1 or total == 1:
+        return _run_serial(configs, worker, retries, _note)
     try:
         pool = multiprocessing.Pool(processes)
     except (OSError, ValueError):
         # Pool creation can fail in constrained sandboxes; the batch
         # still completes — serially, with identical isolation.
-        return [worker(index, config, retries)
-                for index, config in enumerate(configs)]
+        return _run_serial(configs, worker, retries, _note)
     with pool:
         pending = [pool.apply_async(worker, (index, config, retries))
                    for index, config in enumerate(configs)]
@@ -242,4 +284,16 @@ def run_batch(configs: Sequence[SessionConfig],
                         f"session #{index} ({record['app']}) exceeded "
                         f"{timeout_s:g} s") from None
                 results.append(record)
+            _note(index + 1, results[-1])
         return results
+
+
+def _run_serial(configs: Sequence[SessionConfig], worker,
+                retries: int,
+                note: Callable[[int, Dict], None]) -> List[Dict]:
+    """The in-process batch path (also the no-fork fallback)."""
+    results: List[Dict] = []
+    for index, config in enumerate(configs):
+        results.append(worker(index, config, retries))
+        note(index + 1, results[-1])
+    return results

@@ -58,7 +58,11 @@ class EventLog:
         events exactly — summing windowed counts equals the total.
         """
         if end < start:
-            raise SimulationError("count_in: end before start")
+            raise SimulationError(
+                f"event log {self.name!r}: count_in window end "
+                f"({end:.6f}) precedes start ({start:.6f})",
+                context={"log": self.name, "operation": "count_in",
+                         "start": start, "end": end})
         lo = bisect.bisect_right(self._times, start)
         hi = bisect.bisect_right(self._times, end)
         return hi - lo
@@ -67,7 +71,11 @@ class EventLog:
         """Mean event rate (events/second) over ``(start, end]``."""
         span = end - start
         if span <= 0:
-            raise SimulationError("rate_in: window must have positive span")
+            raise SimulationError(
+                f"event log {self.name!r}: rate_in window "
+                f"({start:.6f}, {end:.6f}] has non-positive span",
+                context={"log": self.name, "operation": "rate_in",
+                         "start": start, "end": end})
         return self.count_in(start, end) / span
 
     def binned_rate(self, start: float, end: float,
@@ -80,7 +88,12 @@ class EventLog:
         """
         ensure_positive(bin_width, "bin_width")
         if end <= start:
-            raise SimulationError("binned_rate: end must be after start")
+            raise SimulationError(
+                f"event log {self.name!r}: binned_rate window end "
+                f"({end:.6f}) must be after start ({start:.6f})",
+                context={"log": self.name, "operation": "binned_rate",
+                         "start": start, "end": end,
+                         "bin_width": bin_width})
         edges = np.arange(start, end + bin_width * 1e-9, bin_width)
         if edges[-1] < end:
             edges = np.append(edges, end)

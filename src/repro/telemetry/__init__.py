@@ -1,0 +1,84 @@
+"""Telemetry: structured events, metrics, and hot-path profiling.
+
+The simulator's figures are end-of-session aggregates; debugging a
+governor misstep or quantifying metering cost needs the *time-resolved*
+record of what happened.  This package provides that record as three
+cooperating pieces:
+
+* :class:`TelemetryHub` (:mod:`repro.telemetry.hub`) — a structured
+  event bus.  Components emit typed events (rate switches, section
+  transitions, touch boosts, watchdog state changes, fault injections,
+  V-Sync clips, profiling spans) carrying simulation time, monotonic
+  wall time, and a session id; pluggable sinks receive them (in-memory
+  ring buffer, JSONL writer, null sink).
+* :class:`MetricsRegistry` (:mod:`repro.telemetry.metrics`) —
+  deterministic counters, gauges, and fixed-bucket histograms wired
+  into the governor, panel, content-rate meter, watchdog, and batch
+  runner.
+* :func:`timed` / spans (:mod:`repro.telemetry.profiling`) —
+  ``perf_counter`` spans on the metering hot path (grid comparison,
+  double-buffer copy, frame diff), making the paper's Figure 6
+  overhead claim a measured artifact.
+
+Telemetry is **off by default**: a session with no
+:class:`TelemetryConfig` takes no telemetry branch anywhere and is
+bit-identical to the uninstrumented pipeline.  See
+``docs/observability.md`` for the event taxonomy, JSONL schema, and
+naming conventions.
+"""
+
+from .events import (
+    EVENT_FAULT_INJECTED,
+    EVENT_KINDS,
+    EVENT_RATE_SWITCH,
+    EVENT_SECTION_TRANSITION,
+    EVENT_SESSION_END,
+    EVENT_SESSION_START,
+    EVENT_SPAN,
+    EVENT_TOUCH_BOOST,
+    EVENT_VSYNC_CLIP,
+    EVENT_WATCHDOG_STATE,
+    TelemetryEvent,
+)
+from .hub import TelemetryConfig, TelemetryHub, build_hub
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiling import SPAN_BUCKET_EDGES_S, span_summary, timed
+from .sinks import JsonlSink, NullSink, RingBufferSink, TelemetrySink
+from .stats import (
+    format_stats,
+    parse_jsonl,
+    summarize_events,
+    summarize_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_FAULT_INJECTED",
+    "EVENT_KINDS",
+    "EVENT_RATE_SWITCH",
+    "EVENT_SECTION_TRANSITION",
+    "EVENT_SESSION_END",
+    "EVENT_SESSION_START",
+    "EVENT_SPAN",
+    "EVENT_TOUCH_BOOST",
+    "EVENT_VSYNC_CLIP",
+    "EVENT_WATCHDOG_STATE",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullSink",
+    "RingBufferSink",
+    "SPAN_BUCKET_EDGES_S",
+    "TelemetryConfig",
+    "TelemetryEvent",
+    "TelemetryHub",
+    "TelemetrySink",
+    "build_hub",
+    "format_stats",
+    "parse_jsonl",
+    "span_summary",
+    "summarize_events",
+    "summarize_jsonl",
+    "timed",
+]

@@ -1,0 +1,101 @@
+"""The typed event taxonomy and the event record itself.
+
+Every telemetry event is one :class:`TelemetryEvent`: a *kind* from the
+closed taxonomy below, the simulation clock and the monotonic wall
+clock at emission, the id of the session that produced it, and a small
+``data`` payload whose keys are fixed per kind (documented in
+``docs/observability.md``).
+
+The taxonomy is deliberately closed — :meth:`TelemetryHub.emit
+<repro.telemetry.hub.TelemetryHub.emit>` rejects unknown kinds — so a
+JSONL stream written today stays parseable by tomorrow's tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: Session lifecycle markers (data: app, governor, seed, duration_s).
+EVENT_SESSION_START = "session_start"
+EVENT_SESSION_END = "session_end"
+
+#: A panel rate switch took effect (data: from_hz, to_hz).
+EVENT_RATE_SWITCH = "rate_switch"
+
+#: A governor rate request waited for the next frame boundary before
+#: taking effect — the V-Sync latch (data: rate_hz, waited_s).
+EVENT_VSYNC_CLIP = "vsync_clip"
+
+#: A periodic governor decision landed in a different section of the
+#: control table than the previous one (data: from_hz, to_hz).
+EVENT_SECTION_TRANSITION = "section_transition"
+
+#: A touch event forced an immediate rate override (data: rate_hz).
+EVENT_TOUCH_BOOST = "touch_boost"
+
+#: The governor watchdog's degradation ladder moved
+#: (data: from_state, to_state).
+EVENT_WATCHDOG_STATE = "watchdog_state"
+
+#: The fault injector fired (data: site, detail, magnitude_s).
+EVENT_FAULT_INJECTED = "fault_injected"
+
+#: A profiling span closed (data: name, duration_s).
+EVENT_SPAN = "span"
+
+#: Every kind the hub accepts, in documentation order.
+EVENT_KINDS = (
+    EVENT_SESSION_START,
+    EVENT_SESSION_END,
+    EVENT_RATE_SWITCH,
+    EVENT_VSYNC_CLIP,
+    EVENT_SECTION_TRANSITION,
+    EVENT_TOUCH_BOOST,
+    EVENT_WATCHDOG_STATE,
+    EVENT_FAULT_INJECTED,
+    EVENT_SPAN,
+)
+
+#: JSONL schema version written by :class:`~repro.telemetry.sinks.
+#: JsonlSink`; bump on any incompatible change to the line format.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured event on the bus.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`EVENT_KINDS`.
+    session_id:
+        Id of the session that emitted the event (deterministic:
+        ``app:governor:seed`` unless overridden).
+    sim_time_s:
+        Simulation-clock timestamp of the emission.
+    wall_time_s:
+        Monotonic wall-clock seconds since the hub was created
+        (``perf_counter`` based; *not* deterministic across runs).
+    data:
+        Kind-specific payload; keys per kind are documented in
+        ``docs/observability.md``.
+    """
+
+    kind: str
+    session_id: str
+    sim_time_s: float
+    wall_time_s: float
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The JSONL line representation (stable schema, version 1)."""
+        return {
+            "v": SCHEMA_VERSION,
+            "kind": self.kind,
+            "session": self.session_id,
+            "sim_s": self.sim_time_s,
+            "wall_s": self.wall_time_s,
+            "data": dict(self.data),
+        }

@@ -1,0 +1,241 @@
+"""The telemetry hub: one event bus + metrics + spans per session.
+
+The hub is what components talk to.  A component holding a hub calls
+``hub.emit(kind, sim_time, ...)`` for discrete happenings,
+``hub.metrics.counter(name).inc()`` for totals, and
+``with hub.span(name, sim_time):`` around hot operations.  A component
+holding ``None`` — the default everywhere — takes a single attribute
+check and no other cost, which is how a telemetry-disabled session
+stays bit-identical to the uninstrumented pipeline.
+
+The hub is **not** a global: :func:`repro.sim.session.run_session`
+builds one per session from a :class:`TelemetryConfig`, threads it
+through the stack, and closes it when the session ends.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TelemetryError
+from ..units import ensure_positive_int
+from .events import EVENT_KINDS, EVENT_SPAN, TelemetryEvent
+from .metrics import MetricsRegistry
+from .profiling import (
+    SPAN_BUCKET_EDGES_S,
+    Span,
+    span_summary,
+)
+from .sinks import JsonlSink, RingBufferSink, TelemetrySink
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What a session's telemetry should capture and where it goes.
+
+    Parameters
+    ----------
+    jsonl_path:
+        Write every event to this JSONL file (None: no file sink).
+    ring_capacity:
+        Keep the most recent N events in memory for post-run
+        inspection (0 disables the ring sink).
+    profile_spans:
+        Instrument the metering hot path with ``perf_counter`` spans.
+        Off, the stream still carries control events (rate switches,
+        boosts, watchdog moves) but no ``span`` events.
+    session_id:
+        Override the deterministic default id
+        (``app:governor:seed``).
+    """
+
+    jsonl_path: Optional[str] = None
+    ring_capacity: int = 4096
+    profile_spans: bool = True
+    session_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.ring_capacity != 0:
+            ensure_positive_int(self.ring_capacity, "ring_capacity")
+
+
+class TelemetryHub:
+    """Structured event bus + metrics registry + span collector.
+
+    Parameters
+    ----------
+    session_id:
+        Stamped on every event this hub emits.
+    sinks:
+        Event receivers, written in order per event.
+    profile_spans:
+        When False, :meth:`span` returns a no-op span (hot paths run
+        untimed) — control events and metrics still flow.
+    clock:
+        Monotonic wall clock; injectable for deterministic tests.
+    """
+
+    def __init__(self, session_id: str,
+                 sinks: Sequence[TelemetrySink] = (),
+                 profile_spans: bool = True,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.session_id = session_id
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        self.profile_spans = profile_spans
+        self._sinks: List[TelemetrySink] = list(sinks)
+        self._epoch = clock()
+        self._event_counts: Dict[str, int] = {}
+        self._span_durations: Dict[str, List[float]] = {}
+        self._last_sim_time = 0.0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Sinks
+    # ------------------------------------------------------------------
+    def add_sink(self, sink: TelemetrySink) -> None:
+        """Attach another event receiver."""
+        self._sinks.append(sink)
+
+    @property
+    def sinks(self) -> Tuple[TelemetrySink, ...]:
+        """The attached sinks, in write order."""
+        return tuple(self._sinks)
+
+    @property
+    def ring(self) -> Optional[RingBufferSink]:
+        """The first ring-buffer sink, if one is attached."""
+        for sink in self._sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink
+        return None
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, sim_time_s: float,
+             **data: Any) -> TelemetryEvent:
+        """Emit one event to every sink; returns the event.
+
+        ``kind`` must come from the closed taxonomy
+        (:data:`~repro.telemetry.events.EVENT_KINDS`).
+        """
+        if kind not in EVENT_KINDS:
+            raise TelemetryError(
+                f"unknown telemetry event kind {kind!r}; "
+                f"taxonomy: {EVENT_KINDS}",
+                context={"subsystem": "telemetry", "component": "emit",
+                         "kind": kind})
+        if self._closed:
+            raise TelemetryError(
+                f"telemetry hub for {self.session_id!r} is closed",
+                context={"subsystem": "telemetry", "component": "emit",
+                         "kind": kind})
+        self._last_sim_time = sim_time_s
+        event = TelemetryEvent(
+            kind=kind, session_id=self.session_id,
+            sim_time_s=sim_time_s,
+            wall_time_s=self.clock() - self._epoch, data=data)
+        self._event_counts[kind] = self._event_counts.get(kind, 0) + 1
+        for sink in self._sinks:
+            sink.write(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str,
+             sim_time_s: Optional[float] = None) -> Span:
+        """A context manager timing one occurrence of ``name``.
+
+        With ``profile_spans`` off this returns a span whose exit is
+        recorded nowhere (the timing calls still cost two clock reads;
+        callers on the hottest paths should branch on
+        :attr:`profile_spans` themselves).
+        """
+        return Span(self, name, sim_time_s)
+
+    def record_span(self, name: str, sim_time_s: Optional[float],
+                    duration_s: float) -> None:
+        """Record one finished span (spans call this on exit)."""
+        if not self.profile_spans:
+            return
+        self._span_durations.setdefault(name, []).append(duration_s)
+        self.metrics.histogram(f"span.{name}_seconds",
+                               SPAN_BUCKET_EDGES_S).observe(duration_s)
+        self.emit(EVENT_SPAN,
+                  self._last_sim_time if sim_time_s is None
+                  else sim_time_s,
+                  name=name, duration_s=duration_s)
+
+    def span_stats(self) -> Dict[str, Dict[str, float]]:
+        """Percentile summary per span name (sorted by name)."""
+        return {name: span_summary(self._span_durations[name])
+                for name in sorted(self._span_durations)}
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def events_total(self) -> int:
+        """Events emitted so far."""
+        return sum(self._event_counts.values())
+
+    @property
+    def event_counts(self) -> Dict[str, int]:
+        """Events emitted per kind (sorted copy)."""
+        return {kind: self._event_counts[kind]
+                for kind in sorted(self._event_counts)}
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def summary_dict(self) -> dict:
+        """The stable ``telemetry`` schema of a session summary.
+
+        Keys: ``session_id``, ``events`` (total + by-kind counts),
+        ``metrics`` (the registry snapshot), ``spans`` (percentile
+        summaries).  Span values are wall time and therefore vary
+        between runs; everything else is deterministic for a given
+        workload.
+        """
+        return {
+            "session_id": self.session_id,
+            "events": {
+                "total": self.events_total,
+                "by_kind": self.event_counts,
+            },
+            "metrics": self.metrics.as_dict(),
+            "spans": self.span_stats(),
+        }
+
+    def close(self) -> None:
+        """Close every sink; the hub accepts no further events."""
+        if self._closed:
+            return
+        self._closed = True
+        for sink in self._sinks:
+            sink.close()
+
+
+def build_hub(config: Optional[TelemetryConfig],
+              default_session_id: str) -> Optional[TelemetryHub]:
+    """Construct the hub a :class:`TelemetryConfig` describes.
+
+    ``None`` in, ``None`` out — callers thread the result straight into
+    component constructors, where None means uninstrumented.
+    """
+    if config is None:
+        return None
+    sinks: List[TelemetrySink] = []
+    if config.ring_capacity > 0:
+        sinks.append(RingBufferSink(config.ring_capacity))
+    if config.jsonl_path is not None:
+        sinks.append(JsonlSink(config.jsonl_path))
+    return TelemetryHub(
+        session_id=config.session_id or default_session_id,
+        sinks=sinks, profile_spans=config.profile_spans)

@@ -1,0 +1,255 @@
+"""The metrics registry: deterministic counters, gauges, histograms.
+
+Metrics answer "how much / how many" where events answer "what
+happened when".  Three instrument types cover everything the
+simulation stack counts:
+
+* :class:`Counter` — monotonically increasing totals (rate switches,
+  frames metered, faults injected).
+* :class:`Gauge` — a last-write-wins level (final refresh rate,
+  simulator events processed).
+* :class:`Histogram` — a distribution over **fixed bucket edges**
+  supplied at registration.  Fixed edges make the output schema
+  deterministic: two runs of the same workload produce histograms with
+  identical shape (and identical counts, for sim-derived values).
+
+Names follow ``<subsystem>.<noun>[_<unit>]`` — ``panel.rate_switches``,
+``governor.selected_rate_hz``, ``span.meter.grid_compare_seconds`` —
+validated at registration; the full convention is documented in
+``docs/observability.md``.  :meth:`MetricsRegistry.as_dict` emits
+everything sorted by name so serialized output is reproducible.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TelemetryError
+
+#: Registered metric names: dotted lowercase words, digits, underscores.
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+
+def _validate_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise TelemetryError(
+            f"invalid metric name {name!r}: use dotted lowercase "
+            f"segments like 'panel.rate_switches'",
+            context={"subsystem": "telemetry", "component": "metrics",
+                     "name": name})
+    return name
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        """Current total."""
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (>= 0) to the total."""
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease "
+                f"(inc by {amount})",
+                context={"subsystem": "telemetry", "component": "counter",
+                         "name": self.name})
+        self._value += amount
+
+
+class Gauge:
+    """A last-write-wins level."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Most recently set value (0.0 before any set)."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Overwrite the level."""
+        self._value = float(value)
+
+
+class Histogram:
+    """A distribution over fixed, strictly increasing bucket edges.
+
+    ``edges`` of length N define N+1 buckets: ``(-inf, e0], (e0, e1],
+    ..., (eN-1, inf)``.  Alongside the bucket counts the histogram
+    tracks count, sum, min and max of the observed values, so means
+    and extremes survive the bucketing.
+    """
+
+    __slots__ = ("name", "edges", "_counts", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(self, name: str, edges: Sequence[float]) -> None:
+        self.name = name
+        edge_list = [float(e) for e in edges]
+        if not edge_list:
+            raise TelemetryError(
+                f"histogram {self.name!r} needs at least one bucket "
+                f"edge",
+                context={"subsystem": "telemetry",
+                         "component": "histogram", "name": name})
+        if any(b <= a for a, b in zip(edge_list, edge_list[1:])):
+            raise TelemetryError(
+                f"histogram {self.name!r} edges must be strictly "
+                f"increasing, got {edge_list}",
+                context={"subsystem": "telemetry",
+                         "component": "histogram", "name": name})
+        self.edges: Tuple[float, ...] = tuple(edge_list)
+        self._counts: List[int] = [0] * (len(edge_list) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one value."""
+        value = float(value)
+        self._counts[bisect.bisect_left(self.edges, value)] += 1
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        """Values observed."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of observed values."""
+        return self._sum
+
+    @property
+    def bucket_counts(self) -> Tuple[int, ...]:
+        """Counts per bucket (``len(edges) + 1`` entries)."""
+        return tuple(self._counts)
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of the distribution."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by metric name.
+
+    A name belongs to exactly one instrument type for the registry's
+    lifetime; re-requesting it with a different type (or a histogram
+    with different edges) is a :class:`~repro.errors.TelemetryError`
+    rather than a silent aliasing bug.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        found = self._counters.get(name)
+        if found is not None:
+            return found
+        self._check_free(name, "counter")
+        counter = Counter(_validate_name(name))
+        self._counters[name] = counter
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        found = self._gauges.get(name)
+        if found is not None:
+            return found
+        self._check_free(name, "gauge")
+        gauge = Gauge(_validate_name(name))
+        self._gauges[name] = gauge
+        return gauge
+
+    def histogram(self, name: str,
+                  edges: Optional[Sequence[float]] = None) -> Histogram:
+        """Get or create the histogram called ``name``.
+
+        ``edges`` is required on first registration and must match (or
+        be omitted) on later lookups.
+        """
+        found = self._histograms.get(name)
+        if found is not None:
+            if edges is not None and tuple(
+                    float(e) for e in edges) != found.edges:
+                raise TelemetryError(
+                    f"histogram {name!r} already registered with edges "
+                    f"{list(found.edges)}",
+                    context={"subsystem": "telemetry",
+                             "component": "metrics", "name": name})
+            return found
+        if edges is None:
+            raise TelemetryError(
+                f"histogram {name!r} needs bucket edges on first "
+                f"registration",
+                context={"subsystem": "telemetry",
+                         "component": "metrics", "name": name})
+        self._check_free(name, "histogram")
+        histogram = Histogram(_validate_name(name), edges)
+        self._histograms[name] = histogram
+        return histogram
+
+    def _check_free(self, name: str, wanted: str) -> None:
+        for kind, table in (("counter", self._counters),
+                            ("gauge", self._gauges),
+                            ("histogram", self._histograms)):
+            if kind != wanted and name in table:
+                raise TelemetryError(
+                    f"metric {name!r} is already a {kind}; cannot "
+                    f"re-register as a {wanted}",
+                    context={"subsystem": "telemetry",
+                             "component": "metrics", "name": name})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Every registered metric name, sorted."""
+        return tuple(sorted(set(self._counters) | set(self._gauges)
+                            | set(self._histograms)))
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot, every section sorted by name."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {name: self._histograms[name].as_dict()
+                           for name in sorted(self._histograms)},
+        }

@@ -1,0 +1,119 @@
+"""Pluggable event sinks: ring buffer, JSONL writer, null.
+
+A sink receives every :class:`~repro.telemetry.events.TelemetryEvent`
+the hub emits, in emission order.  Sinks are deliberately dumb — no
+filtering, no buffering policy beyond what the sink *is* — so the hub
+stays the single place that decides what gets emitted.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import deque
+from typing import Deque, Optional, Tuple, Union
+
+from ..errors import TelemetryError
+from .events import TelemetryEvent
+
+PathLike = Union[str, pathlib.Path]
+
+
+class TelemetrySink:
+    """Interface every sink implements."""
+
+    def write(self, event: TelemetryEvent) -> None:
+        """Receive one event."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; further writes are an error."""
+
+
+class NullSink(TelemetrySink):
+    """Drops everything; counts what it dropped.
+
+    Useful for overhead measurement: the full emission path runs
+    (event construction, hub accounting) with no storage cost.
+    """
+
+    def __init__(self) -> None:
+        self.dropped = 0
+
+    def write(self, event: TelemetryEvent) -> None:
+        del event
+        self.dropped += 1
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink(TelemetrySink):
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise TelemetryError(
+                f"ring buffer capacity must be >= 1, got {capacity}",
+                context={"subsystem": "telemetry", "component": "ring"})
+        self.capacity = capacity
+        self._events: Deque[TelemetryEvent] = deque(maxlen=capacity)
+        self._written = 0
+
+    def write(self, event: TelemetryEvent) -> None:
+        self._events.append(event)
+        self._written += 1
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def written(self) -> int:
+        """Total events received (including ones since evicted)."""
+        return self._written
+
+    @property
+    def events(self) -> Tuple[TelemetryEvent, ...]:
+        """The retained events, oldest first."""
+        return tuple(self._events)
+
+    def by_kind(self, kind: str) -> Tuple[TelemetryEvent, ...]:
+        """Retained events of one kind, oldest first."""
+        return tuple(e for e in self._events if e.kind == kind)
+
+
+class JsonlSink(TelemetrySink):
+    """Appends one JSON object per event to a file.
+
+    Lines follow the version-1 schema of
+    :meth:`TelemetryEvent.to_json_dict`; keys are sorted so identical
+    event streams serialize identically.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = pathlib.Path(path)
+        self._handle: Optional[object] = self.path.open("w")
+        self._written = 0
+
+    @property
+    def written(self) -> int:
+        """Events written so far."""
+        return self._written
+
+    def write(self, event: TelemetryEvent) -> None:
+        if self._handle is None:
+            raise TelemetryError(
+                f"JSONL sink {self.path} is closed",
+                context={"subsystem": "telemetry", "component": "jsonl",
+                         "path": str(self.path)})
+        self._handle.write(json.dumps(event.to_json_dict(),
+                                      sort_keys=True) + "\n")
+        self._written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -1,0 +1,168 @@
+"""Summarize a telemetry JSONL stream (the ``repro stats`` command).
+
+A JSONL file written by :class:`~repro.telemetry.sinks.JsonlSink` is a
+flat record of everything that happened; this module turns it back
+into the numbers a person asks first: how many events of each kind,
+how often the governor actually switched rates, and what the metering
+hot path cost (span percentiles).  The summarizer is pure data-in /
+dict-out so tests and the CLI share one implementation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Union
+
+from ..errors import TelemetryError
+from .events import (
+    EVENT_FAULT_INJECTED,
+    EVENT_RATE_SWITCH,
+    EVENT_SPAN,
+    EVENT_TOUCH_BOOST,
+)
+from .profiling import span_summary
+
+PathLike = Union[str, pathlib.Path]
+
+
+def parse_jsonl(path: PathLike) -> List[dict]:
+    """Read one event dict per non-blank line of a JSONL file.
+
+    Raises :class:`~repro.errors.TelemetryError` with the offending
+    line number when a line is not a JSON object.
+    """
+    path = pathlib.Path(path)
+    events: List[dict] = []
+    try:
+        handle = path.open()
+    except OSError as exc:
+        raise TelemetryError(
+            f"cannot read telemetry stream {path}: {exc}",
+            context={"subsystem": "telemetry", "component": "stats",
+                     "path": str(path)}) from exc
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"{path}:{lineno}: not valid JSON: {exc}",
+                    context={"subsystem": "telemetry",
+                             "component": "stats",
+                             "path": str(path), "line": lineno}) from exc
+            if not isinstance(record, dict) or "kind" not in record:
+                raise TelemetryError(
+                    f"{path}:{lineno}: not a telemetry event "
+                    f"(missing 'kind')",
+                    context={"subsystem": "telemetry",
+                             "component": "stats",
+                             "path": str(path), "line": lineno})
+            events.append(record)
+    return events
+
+
+def summarize_events(events: Iterable[dict]) -> dict:
+    """Aggregate parsed event dicts into the stats schema.
+
+    Returns ``events`` (total + by-kind), ``sessions`` (sorted ids),
+    ``sim_span_s`` (first/last sim timestamp), ``rate_switches``
+    (count + mean switch interval), ``touch_boosts``,
+    ``faults_by_site``, and ``spans`` (percentile summary per name).
+    """
+    events = list(events)
+    by_kind: Dict[str, int] = {}
+    sessions = set()
+    sim_times: List[float] = []
+    switch_times: List[float] = []
+    boosts = 0
+    faults_by_site: Dict[str, int] = {}
+    span_durations: Dict[str, List[float]] = {}
+    for event in events:
+        kind = event.get("kind", "?")
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if "session" in event:
+            sessions.add(event["session"])
+        if "sim_s" in event:
+            sim_times.append(float(event["sim_s"]))
+        data = event.get("data", {})
+        if kind == EVENT_RATE_SWITCH and "sim_s" in event:
+            switch_times.append(float(event["sim_s"]))
+        elif kind == EVENT_TOUCH_BOOST:
+            boosts += 1
+        elif kind == EVENT_FAULT_INJECTED:
+            site = data.get("site", "?")
+            faults_by_site[site] = faults_by_site.get(site, 0) + 1
+        elif kind == EVENT_SPAN:
+            name = data.get("name", "?")
+            span_durations.setdefault(name, []).append(
+                float(data.get("duration_s", 0.0)))
+
+    intervals = [b - a for a, b in zip(switch_times, switch_times[1:])]
+    mean_interval = (sum(intervals) / len(intervals)
+                     if intervals else None)
+    return {
+        "events": {
+            "total": len(events),
+            "by_kind": {k: by_kind[k] for k in sorted(by_kind)},
+        },
+        "sessions": sorted(sessions),
+        "sim_span_s": ([min(sim_times), max(sim_times)]
+                       if sim_times else None),
+        "rate_switches": {
+            "count": len(switch_times),
+            "mean_interval_s": mean_interval,
+        },
+        "touch_boosts": boosts,
+        "faults_by_site": {k: faults_by_site[k]
+                           for k in sorted(faults_by_site)},
+        "spans": {name: span_summary(span_durations[name])
+                  for name in sorted(span_durations)},
+    }
+
+
+def summarize_jsonl(path: PathLike) -> dict:
+    """Parse and summarize a JSONL stream in one call."""
+    summary = summarize_events(parse_jsonl(path))
+    summary["path"] = str(path)
+    return summary
+
+
+def format_stats(summary: dict) -> str:
+    """Human-readable rendering of :func:`summarize_jsonl` output."""
+    lines: List[str] = []
+    if "path" in summary:
+        lines.append(f"telemetry stream: {summary['path']}")
+    sessions = summary["sessions"]
+    lines.append(f"sessions:       {len(sessions)}"
+                 + (f" ({', '.join(sessions)})" if sessions else ""))
+    span = summary["sim_span_s"]
+    if span is not None:
+        lines.append(f"sim time span:  {span[0]:.3f} .. {span[1]:.3f} s")
+    lines.append(f"events:         {summary['events']['total']} total")
+    for kind, count in summary["events"]["by_kind"].items():
+        lines.append(f"  {kind:<20} {count}")
+    switches = summary["rate_switches"]
+    cadence = (f" (mean interval {switches['mean_interval_s']:.2f} s)"
+               if switches["mean_interval_s"] is not None else "")
+    lines.append(f"rate switches:  {switches['count']}{cadence}")
+    lines.append(f"touch boosts:   {summary['touch_boosts']}")
+    if summary["faults_by_site"]:
+        inside = ", ".join(f"{site} {count}" for site, count
+                           in summary["faults_by_site"].items())
+        lines.append(f"faults:         {inside}")
+    if summary["spans"]:
+        lines.append("spans (wall time):")
+        lines.append(f"  {'name':<24} {'count':>7} {'p50 us':>9} "
+                     f"{'p90 us':>9} {'p99 us':>9} {'total ms':>9}")
+        for name, stats in summary["spans"].items():
+            lines.append(
+                f"  {name:<24} {stats['count']:>7} "
+                f"{1e6 * stats['p50_s']:>9.1f} "
+                f"{1e6 * stats['p90_s']:>9.1f} "
+                f"{1e6 * stats['p99_s']:>9.1f} "
+                f"{1e3 * stats['total_s']:>9.2f}")
+    return "\n".join(lines)

@@ -124,3 +124,48 @@ class TestScenario:
             build_parser().parse_args(
                 ["scenario", "--apps", "Facebook",
                  "--governor", "oracle"])
+
+
+class TestTelemetryCli:
+    def test_run_with_telemetry_writes_stream(self, capsys, tmp_path):
+        path = tmp_path / "out.jsonl"
+        code, out = run_cli(capsys, "run", "--app", "Facebook",
+                            "--duration", "10",
+                            "--telemetry", str(path))
+        assert code == 0
+        assert "telemetry:" in out
+        assert path.exists()
+        lines = [line for line in path.read_text().splitlines() if line]
+        assert lines, "stream must not be empty"
+
+    def test_stats_summarizes_stream(self, capsys, tmp_path):
+        path = tmp_path / "out.jsonl"
+        run_cli(capsys, "run", "--app", "Facebook",
+                "--duration", "10", "--telemetry", str(path))
+        code, out = run_cli(capsys, "stats", str(path))
+        assert code == 0
+        assert "rate switches:" in out
+        assert "touch boosts:" in out
+        assert "span" in out
+
+    def test_stats_rejects_garbage(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("definitely not json\n")
+        with pytest.raises(SystemExit):
+            main(["stats", str(path)])
+
+    def test_stats_missing_file_exits_with_error(self, capsys,
+                                                 tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", str(tmp_path / "absent.jsonl")])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "absent.jsonl" in err
+
+    def test_run_without_telemetry_prints_no_telemetry_line(
+            self, capsys):
+        code, out = run_cli(capsys, "run", "--app", "Facebook",
+                            "--duration", "5")
+        assert code == 0
+        assert "telemetry:" not in out

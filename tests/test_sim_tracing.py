@@ -70,6 +70,41 @@ class TestEventLog:
         # Trailing bin is 0.5 s wide, one event -> 2 events/s.
         assert rates[2] == pytest.approx(2.0)
 
+    def test_count_in_inverted_window_rejected_with_context(self):
+        log = EventLog("frame_updates")
+        with pytest.raises(SimulationError) as excinfo:
+            log.count_in(5.0, 2.0)
+        err = excinfo.value
+        assert "frame_updates" in str(err)
+        assert err.context == {"log": "frame_updates",
+                               "operation": "count_in",
+                               "start": 5.0, "end": 2.0}
+
+    def test_count_in_equal_bounds_is_empty_not_error(self):
+        # end == start is a degenerate-but-valid half-open window:
+        # (t, t] contains nothing.
+        log = EventLog()
+        log.append(1.0)
+        assert log.count_in(1.0, 1.0) == 0
+
+    def test_rate_in_inverted_window_context(self):
+        log = EventLog("touches")
+        with pytest.raises(SimulationError) as excinfo:
+            log.rate_in(3.0, 1.0)
+        assert excinfo.value.context["operation"] == "rate_in"
+        assert excinfo.value.context["log"] == "touches"
+
+    def test_binned_rate_inverted_window_rejected_with_context(self):
+        log = EventLog("compositions")
+        with pytest.raises(SimulationError) as excinfo:
+            log.binned_rate(4.0, 1.0, bin_width=0.5)
+        err = excinfo.value
+        assert "compositions" in str(err)
+        assert err.context == {"log": "compositions",
+                               "operation": "binned_rate",
+                               "start": 4.0, "end": 1.0,
+                               "bin_width": 0.5}
+
 
 class TestStepSeries:
     def test_initial_value(self):
