@@ -78,6 +78,7 @@ from .errors import (
     ReproError,
     SimulationError,
     TelemetryError,
+    WorkerCrashError,
     WorkloadError,
 )
 from .faults import (
@@ -106,6 +107,7 @@ from .sim import Simulator
 from .sim.batch import (
     batch_failure_summary,
     batch_metrics,
+    batch_telemetry_summary,
     format_batch_failures,
     is_failure_record,
     make_failure_record,
@@ -222,11 +224,13 @@ __all__ = [
     "TouchSource",
     "WallpaperProfile",
     "WatchdogConfig",
+    "WorkerCrashError",
     "WorkloadError",
     "all_app_names",
     "app_profile",
     "batch_failure_summary",
     "batch_metrics",
+    "batch_telemetry_summary",
     "build_hub",
     "compute_quality",
     "format_batch_failures",

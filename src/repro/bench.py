@@ -1,0 +1,301 @@
+"""``repro bench`` — the performance harness and its regression gate.
+
+Three workloads cover the paths whose speed this repo actually cares
+about:
+
+* **meter hot path** — one :class:`~repro.core.grid.GridComparator`
+  equal-frames comparison at the paper's 9K operating budget on a
+  native-resolution frame pair (the per-V-Sync cost Figure 6 bounds);
+* **native session** — one full-pipeline session at native 720x1280
+  (metering, governor, panel, power integration);
+* **parallel batch** — a 32-session native-resolution batch through
+  :func:`repro.sim.batch.run_batch` at 1 worker and at N workers,
+  yielding the scaling headline ``batch32_speedup_x``.
+
+Every metric is emitted in a machine-readable JSON document
+(``BENCH_<rev>.json``; schema below) next to a human table, and
+:func:`compare_bench` turns two such documents into a regression
+verdict — CI's ``bench-gate`` job fails when any metric of the current
+tree regresses more than 20 % against the committed
+``BENCH_baseline.json``.  See ``docs/performance.md`` for the schema
+and the gate's operating rules.
+
+Timings are wall-clock and therefore noisy: single-digit percent
+deltas are weather, the 20 % gate threshold is the signal band.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .analysis.tables import format_table
+from .core.grid import GridComparator, GridSpec
+from .errors import ConfigurationError
+from .sim.batch import run_batch
+from .sim.session import SessionConfig, run_session
+
+#: Identifies the bench document layout; bump on breaking changes.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: The paper's metering operating point (9K budget, Figure 6).
+METER_SAMPLE_COUNT = 9216
+
+#: Sessions in the batch-scaling workload.
+BATCH_SESSIONS = 32
+
+
+def _git_rev() -> str:
+    """Short git revision of the working tree, or ``"local"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True)
+        return out.stdout.strip() or "local"
+    except (OSError, subprocess.SubprocessError):
+        return "local"
+
+
+def _metric(value: float, unit: str,
+            higher_is_better: bool = False) -> Dict:
+    return {"value": float(value), "unit": unit,
+            "higher_is_better": higher_is_better}
+
+
+def _time_meter_compare(repeats: int) -> float:
+    """Best seconds of one 9K-budget equal-frames comparison.
+
+    The minimum over ``repeats``, not the median Figure 6 reports:
+    interference on a shared machine only ever *adds* time, so for a
+    regression gate the minimum is the stable estimator of the code's
+    own cost.
+    """
+    from .experiments.fig6 import make_frame_pair
+
+    first, _ = make_frame_pair()
+    duplicate = first.copy()
+    grid = GridSpec.from_sample_count(first.shape[:2],
+                                      METER_SAMPLE_COUNT)
+    comparator = GridComparator(grid)
+    comparator.frames_equal(duplicate, first)  # warm-up
+    timings = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        comparator.frames_equal(duplicate, first)
+        timings.append(time.perf_counter() - t0)
+    return float(np.min(timings))
+
+
+def _native_config(duration_s: float, seed: int = 1) -> SessionConfig:
+    return SessionConfig(app="Facebook", governor="section+boost",
+                         duration_s=duration_s, seed=seed,
+                         resolution_divisor=1)
+
+
+def _time_native_session(duration_s: float, best_of: int) -> float:
+    """Best wall seconds of one native-resolution session.
+
+    Best-of (the minimum), not the mean: wall timings on a shared
+    machine are contaminated one-sidedly — interference only ever adds
+    time — so the minimum is the stable estimator of the code's cost.
+    """
+    timings = []
+    for _ in range(best_of):
+        t0 = time.perf_counter()
+        run_session(_native_config(duration_s))
+        timings.append(time.perf_counter() - t0)
+    return min(timings)
+
+
+def _batch_configs(sessions: int, duration_s: float
+                   ) -> List[SessionConfig]:
+    return [_native_config(duration_s, seed=seed)
+            for seed in range(sessions)]
+
+
+def _time_batch(configs: List[SessionConfig], workers: int,
+                best_of: int) -> float:
+    """Best wall seconds of the batch workload at one worker count."""
+    timings = []
+    for _ in range(best_of):
+        t0 = time.perf_counter()
+        run_batch(configs, workers=workers)
+        timings.append(time.perf_counter() - t0)
+    return min(timings)
+
+
+def run_bench(workers: Optional[int] = None,
+              fast: bool = False) -> Dict:
+    """Run every workload; returns the bench document (see schema).
+
+    ``workers`` is the parallel worker count for the batch workload
+    (``None``: one per CPU); ``fast`` shrinks every workload for
+    smoke-testing the harness itself — fast numbers are *not*
+    comparable to full-size baselines, and the document records the
+    flag so :func:`compare_bench` can refuse the comparison.
+    """
+    import multiprocessing
+
+    if workers is None:
+        workers = multiprocessing.cpu_count()
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+
+    repeats = 50 if fast else 200
+    session_s = 10.0 if fast else 30.0
+    sessions = 8 if fast else BATCH_SESSIONS
+    batch_session_s = 10.0 if fast else 30.0
+    best_of = 1 if fast else 2
+
+    run_session(_native_config(2.0))  # warm-up (imports, caches)
+    meter_s = _time_meter_compare(repeats)
+    native_s = _time_native_session(session_s, best_of=3)
+    configs = _batch_configs(sessions, batch_session_s)
+    serial_s = _time_batch(configs, workers=1, best_of=best_of)
+    parallel_s = _time_batch(configs, workers=workers,
+                             best_of=best_of)
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "rev": _git_rev(),
+        "python": platform.python_version(),
+        "cpu_count": multiprocessing.cpu_count(),
+        "workers": workers,
+        "fast": fast,
+        "sessions": sessions,
+        "metrics": {
+            "meter_compare_9k_s": _metric(meter_s, "s"),
+            "native_session_s": _metric(native_s, "s"),
+            "batch32_workers1_s": _metric(serial_s, "s"),
+            "batch32_workersN_s": _metric(parallel_s, "s"),
+            "batch32_speedup_x": _metric(speedup, "x",
+                                         higher_is_better=True),
+        },
+    }
+
+
+def compare_bench(current: Dict, baseline: Dict,
+                  threshold: float = 0.2) -> List[Dict]:
+    """Regressions of ``current`` against ``baseline``.
+
+    A lower-is-better metric regresses when it exceeds its baseline by
+    more than ``threshold`` (fraction); a higher-is-better metric when
+    it falls short by more.  A baseline metric the current document
+    lacks is a regression (a silently-dropped measurement must not
+    pass the gate); *extra* current metrics are fine — that is how new
+    metrics enter the baseline.  Returns one record per regression
+    (empty: gate passes), each with ``metric``, ``baseline``,
+    ``current`` and a human ``message``.
+    """
+    if threshold <= 0:
+        raise ConfigurationError(
+            f"threshold must be > 0, got {threshold}")
+    for name, document in (("current", current),
+                           ("baseline", baseline)):
+        if document.get("schema") != BENCH_SCHEMA:
+            raise ConfigurationError(
+                f"{name} document schema is "
+                f"{document.get('schema')!r}, expected "
+                f"{BENCH_SCHEMA!r}")
+    if bool(current.get("fast")) != bool(baseline.get("fast")):
+        raise ConfigurationError(
+            "refusing to compare a --fast document against a "
+            "full-size one; their workloads differ")
+    regressions = []
+    for name, base in baseline["metrics"].items():
+        if name not in current["metrics"]:
+            regressions.append({
+                "metric": name, "baseline": base["value"],
+                "current": None,
+                "message": f"{name}: missing from current document",
+            })
+            continue
+        cur = current["metrics"][name]
+        if base["higher_is_better"]:
+            limit = base["value"] * (1.0 - threshold)
+            bad = cur["value"] < limit
+            direction = "fell to"
+        else:
+            limit = base["value"] * (1.0 + threshold)
+            bad = cur["value"] > limit
+            direction = "rose to"
+        if bad:
+            regressions.append({
+                "metric": name, "baseline": base["value"],
+                "current": cur["value"],
+                "message": (f"{name}: {direction} "
+                            f"{cur['value']:.4g} {cur['unit']} "
+                            f"(baseline {base['value']:.4g}, "
+                            f"limit {limit:.4g})"),
+            })
+    return regressions
+
+
+def format_bench(bench: Dict,
+                 baseline: Optional[Dict] = None) -> str:
+    """The human table for one bench document.
+
+    With ``baseline``, adds a delta column (signed percent change per
+    metric, against the baseline value).
+    """
+    headers = ["metric", "value", "unit", "better"]
+    if baseline is not None:
+        headers.append("vs baseline")
+    rows = []
+    for name, metric in bench["metrics"].items():
+        row = [name, f"{metric['value']:.4g}", metric["unit"],
+               "higher" if metric["higher_is_better"] else "lower"]
+        if baseline is not None:
+            base = baseline["metrics"].get(name)
+            if base is None or base["value"] == 0:
+                row.append("-")
+            else:
+                delta = 100.0 * (metric["value"] / base["value"] - 1.0)
+                row.append(f"{delta:+.1f}%")
+        rows.append(row)
+    mode = " (fast)" if bench.get("fast") else ""
+    title = (f"repro bench{mode} @ {bench['rev']} — python "
+             f"{bench['python']}, {bench['cpu_count']} cpu, "
+             f"{bench['workers']} workers")
+    return format_table(headers, rows, title=title)
+
+
+def load_bench(path) -> Dict:
+    """Read one bench JSON document."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def write_bench(bench: Dict, path=None) -> pathlib.Path:
+    """Write a bench document; default name ``BENCH_<rev>.json``."""
+    if path is None:
+        path = f"BENCH_{bench['rev']}.json"
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main_check(current: Dict, baseline_path,
+               threshold: float = 0.2) -> int:
+    """Gate helper: print verdict, return a process exit code."""
+    baseline = load_bench(baseline_path)
+    regressions = compare_bench(current, baseline, threshold)
+    if not regressions:
+        # Verdicts go to stderr so `--json` keeps stdout parseable.
+        print(f"bench gate: OK — no metric regressed more than "
+              f"{100 * threshold:.0f}% vs {baseline_path}",
+              file=sys.stderr)
+        return 0
+    print(f"bench gate: FAIL — {len(regressions)} metric(s) "
+          f"regressed more than {100 * threshold:.0f}% vs "
+          f"{baseline_path}", file=sys.stderr)
+    for regression in regressions:
+        print(f"  {regression['message']}", file=sys.stderr)
+    return 1

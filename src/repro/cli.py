@@ -9,7 +9,9 @@ Everything the examples do, scriptable::
     python -m repro run --app Facebook --telemetry out.jsonl
     python -m repro stats out.jsonl           # summarize a telemetry stream
     python -m repro compare --app "Jelly Splash" --duration 45
+    python -m repro compare --app Facebook --workers 4
     python -m repro experiment fig6           # regenerate a paper figure
+    python -m repro bench --json              # performance harness
 
 All output is plain text; every command is deterministic for a given
 ``--seed``.
@@ -73,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--governors",
                        default="section,section+boost",
                        help="comma-separated governors to compare")
+    p_cmp.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the comparison "
+                            "sessions (default 1: in-process; the "
+                            "parallel batch runner guarantees "
+                            "identical numbers at any count)")
     p_cmp.set_defaults(func=cmd_compare)
 
     p_export = sub.add_parser(
@@ -117,6 +124,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("jsonl", help="stream written by "
                                        "'run --telemetry'")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the hot paths (meter compare, native "
+                      "session, parallel batch) and optionally gate "
+                      "against a baseline")
+    p_bench.add_argument("--json", action="store_true",
+                         help="print the machine-readable bench "
+                              "document instead of the table")
+    p_bench.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the document to PATH "
+                              "(default: not written; 'auto' picks "
+                              "BENCH_<rev>.json)")
+    p_bench.add_argument("--check", default=None, metavar="BASELINE",
+                         help="compare against this baseline document "
+                              "and exit 1 on any regression beyond "
+                              "--threshold (the CI bench gate)")
+    p_bench.add_argument("--threshold", type=float, default=0.2,
+                         help="allowed regression fraction per metric "
+                              "(default 0.2 = 20%%)")
+    p_bench.add_argument("--workers", type=int, default=None,
+                         help="worker count for the batch workload "
+                              "(default: one per CPU)")
+    p_bench.add_argument("--fast", action="store_true",
+                         help="shrunken workloads (harness smoke "
+                              "test; not comparable to full-size "
+                              "baselines)")
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 
@@ -243,26 +277,30 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    from .sim.batch import run_batch
     governors = [g.strip() for g in args.governors.split(",") if g]
     faults = _resolve_faults(args)
-    base = run_session(SessionConfig(
+    configs = [SessionConfig(
         app=args.app, governor="fixed", duration_s=args.duration,
-        seed=args.seed, panel=panel_preset(args.panel)))
-    base_power = base.power_report().mean_power_mw
+        seed=args.seed, panel=panel_preset(args.panel))]
+    configs += [SessionConfig(
+        app=args.app, governor=governor, duration_s=args.duration,
+        seed=args.seed, panel=panel_preset(args.panel),
+        faults=faults) for governor in governors]
+    summaries = run_batch(configs, workers=args.workers,
+                          on_error="raise")
+    base = summaries[0]
+    base_power = base["mean_power_mw"]
     rows = [["fixed", f"{base_power:.0f}", "0", "100.0",
-             f"{base.mean_refresh_rate_hz:.1f}"]]
-    for governor in governors:
-        result = run_session(SessionConfig(
-            app=args.app, governor=governor, duration_s=args.duration,
-            seed=args.seed, panel=panel_preset(args.panel),
-            faults=faults))
-        power = result.power_report().mean_power_mw
-        quality = quality_vs_baseline(result.mean_content_rate_fps,
-                                      base.mean_content_rate_fps)
+             f"{base['mean_refresh_hz']:.1f}"]]
+    for governor, summary in zip(governors, summaries[1:]):
+        power = summary["mean_power_mw"]
+        quality = quality_vs_baseline(summary["content_rate_fps"],
+                                      base["content_rate_fps"])
         rows.append([governor, f"{power:.0f}",
                      f"{base_power - power:.0f}",
                      f"{100 * quality:.1f}",
-                     f"{result.mean_refresh_rate_hz:.1f}"])
+                     f"{summary['mean_refresh_hz']:.1f}"])
     print(format_table(
         ["governor", "power mW", "saved mW", "quality %", "refresh Hz"],
         rows,
@@ -354,6 +392,27 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 def cmd_stats(args: argparse.Namespace) -> int:
     print(format_stats(summarize_jsonl(args.jsonl)))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import sys
+
+    from .bench import (
+        format_bench, load_bench, main_check, run_bench, write_bench)
+    bench = run_bench(workers=args.workers, fast=args.fast)
+    baseline = load_bench(args.check) if args.check else None
+    if args.json:
+        print(json.dumps(bench, indent=2, sort_keys=True))
+    else:
+        print(format_bench(bench, baseline))
+    if args.out:
+        path = write_bench(bench,
+                           None if args.out == "auto" else args.out)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.check:
+        return main_check(bench, args.check, args.threshold)
     return 0
 
 

@@ -71,6 +71,13 @@ class TelemetryError(ReproError):
     summarizing an unparseable JSONL stream)."""
 
 
+class WorkerCrashError(ReproError):
+    """A batch worker process died without returning a result (killed,
+    segfaulted, or exited hard).  Raised — or recorded as a failure
+    record — by the parallel batch runner; the crashed session's error
+    cannot be recovered, only the fact of the crash."""
+
+
 class FaultInjectionError(ReproError):
     """Fault-injection subsystem misuse (e.g. an unknown fault site in
     a plan spec, or a rate outside [0, 1]).  Note: *injected* faults do

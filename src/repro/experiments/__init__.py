@@ -21,7 +21,13 @@ table1     Category summary (saved power %, quality %)
 =========  =====================================================
 """
 
-from .survey import SurveyConfig, SurveyResult, run_survey
+from .survey import (
+    SurveyConfig,
+    SurveyResult,
+    SurveySummaries,
+    run_survey,
+    run_survey_summaries,
+)
 from . import (fig2, fig3, fig5, fig6, fig7, fig8, fig9, fig10,
                fig11, table1)
 from .registry import EXPERIMENTS, ExperimentInfo
@@ -34,6 +40,7 @@ __all__ = [
     "ReplicatedComparison",
     "SurveyConfig",
     "SurveyResult",
+    "SurveySummaries",
     "fig2",
     "fig3",
     "fig5",
@@ -46,5 +53,6 @@ __all__ = [
     "generate_report",
     "replicate_comparison",
     "run_survey",
+    "run_survey_summaries",
     "table1",
 ]

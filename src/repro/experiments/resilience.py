@@ -27,7 +27,8 @@ from ..analysis.tables import format_table
 from ..core.quality import quality_vs_baseline
 from ..errors import ConfigurationError
 from ..faults.plan import FaultPlan
-from ..sim.session import SessionConfig, run_session
+from ..sim.batch import run_batch
+from ..sim.session import SessionConfig
 from ..units import ensure_positive
 
 
@@ -37,7 +38,10 @@ class ResilienceConfig:
 
     ``fault_rates`` are ``meter_fail`` probabilities per governor
     decision; ``touch_drop`` optionally stresses the input path at the
-    same time (0 keeps the sweep single-variable).
+    same time (0 keeps the sweep single-variable).  ``workers`` fans
+    the sweep's sessions (baseline + one per fault rate, all
+    independent) out over the parallel batch runner; the deterministic
+    merge guarantees the result is identical to a serial run.
     """
 
     app: str = "Facebook"
@@ -47,11 +51,15 @@ class ResilienceConfig:
     fault_seed: int = 0
     fault_rates: Tuple[float, ...] = (0.0, 0.02, 0.05, 0.1, 0.25, 0.5)
     touch_drop: float = 0.0
+    workers: int = 1
 
     def __post_init__(self) -> None:
         ensure_positive(self.duration_s, "duration_s")
         if not self.fault_rates:
             raise ConfigurationError("fault_rates must not be empty")
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}")
 
 
 @dataclass(frozen=True)
@@ -112,7 +120,15 @@ class ResilienceResult:
 
 
 def run(config: Optional[ResilienceConfig] = None) -> ResilienceResult:
-    """Run the fault-rate sweep."""
+    """Run the fault-rate sweep.
+
+    The baseline session and every operating point are independent, so
+    the whole sweep goes through :func:`repro.sim.batch.run_batch` as
+    one batch (``config.workers`` processes; 1 keeps it in-process).
+    Rows are built from the summaries in input order, and the batch
+    runner's deterministic merge makes the result independent of the
+    worker count.
+    """
     config = config or ResilienceConfig()
 
     def session(governor: str,
@@ -122,25 +138,30 @@ def run(config: Optional[ResilienceConfig] = None) -> ResilienceResult:
             duration_s=config.duration_s, seed=config.seed,
             faults=plan)
 
-    base = run_session(session("fixed", None))
-    baseline_power = base.power_report().mean_power_mw
-    baseline_content = base.mean_content_rate_fps
-
-    rows = []
+    configs = [session("fixed", None)]
     for rate in config.fault_rates:
         plan = None
         if rate > 0.0 or config.touch_drop > 0.0:
             plan = FaultPlan(meter_fail=rate,
                              touch_drop=config.touch_drop,
                              seed=config.fault_seed)
-        result = run_session(session(config.governor, plan))
-        faults = result.fault_summary_dict()
+        configs.append(session(config.governor, plan))
+
+    summaries = run_batch(configs, workers=config.workers,
+                          on_error="raise")
+    base = summaries[0]
+    baseline_power = base["mean_power_mw"]
+    baseline_content = base["content_rate_fps"]
+
+    rows = []
+    for rate, summary in zip(config.fault_rates, summaries[1:]):
+        faults = summary["faults"]
         rows.append(ResilienceRow(
             fault_rate=rate,
-            mean_power_mw=result.power_report().mean_power_mw,
-            mean_refresh_hz=result.mean_refresh_rate_hz,
+            mean_power_mw=summary["mean_power_mw"],
+            mean_refresh_hz=summary["mean_refresh_hz"],
             display_quality=quality_vs_baseline(
-                result.mean_content_rate_fps, baseline_content),
+                summary["content_rate_fps"], baseline_content),
             injected_faults=faults["injected_total"],
             meter_failures=faults["meter_failures"],
             failsafe_entries=faults["failsafe_entries"],

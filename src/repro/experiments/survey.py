@@ -18,6 +18,7 @@ from ..apps.catalog import all_app_names, app_profile
 from ..core.quality import quality_vs_baseline
 from ..errors import ConfigurationError
 from ..power.model import PowerModel
+from ..sim.batch import run_batch
 from ..sim.session import SessionConfig, SessionResult, run_session
 from ..units import ensure_positive
 
@@ -90,7 +91,61 @@ class SurveyResult:
         return rows
 
 
+@dataclass
+class SurveySummaries:
+    """Summary-level view of one sweep, ``summaries[app][governor]``.
+
+    The parallel counterpart of :class:`SurveyResult`: per-session
+    *summary dicts* (the :func:`repro.sim.batch.run_batch` payload)
+    instead of live :class:`SessionResult` objects, which is what lets
+    the sweep cross process boundaries.  Covers every consumer that
+    needs aggregate numbers — per-app power/quality measurements —
+    but not the trace-level views (``baseline()`` / ``governed()``
+    series plots), which still require :func:`run_survey`.
+    """
+
+    config: SurveyConfig
+    summaries: Dict[str, Dict[str, Dict]]
+
+    def summary(self, app: str, governor: str) -> Dict:
+        """The summary dict of one session."""
+        return self.summaries[app][governor]
+
+    def measurements(self, governor: str) -> List[AppMeasurement]:
+        """Per-app power/quality measurements for one governor,
+        relative to the fixed baseline (the Table 1 inputs), computed
+        with the default :class:`~repro.power.model.PowerModel` —
+        identical numbers to
+        :meth:`SurveyResult.measurements`'s default."""
+        rows = []
+        for app in self.config.apps:
+            base = self.summary(app, BASELINE)
+            gov = self.summary(app, governor)
+            quality = quality_vs_baseline(gov["content_rate_fps"],
+                                          base["content_rate_fps"])
+            rows.append(AppMeasurement(
+                app_name=app,
+                category=app_profile(app).category,
+                baseline_power_mw=base["mean_power_mw"],
+                governed_power_mw=gov["mean_power_mw"],
+                display_quality=quality,
+            ))
+        return rows
+
+
 _CACHE: Dict[SurveyConfig, SurveyResult] = {}
+_SUMMARY_CACHE: Dict[SurveyConfig, SurveySummaries] = {}
+
+
+def _sweep_configs(config: SurveyConfig) -> List[SessionConfig]:
+    """The sweep's session configs, app-major then governor order."""
+    return [SessionConfig(app=app,
+                          governor=governor,
+                          duration_s=config.duration_s,
+                          seed=config.seed,
+                          resolution_divisor=config.resolution_divisor)
+            for app in config.apps
+            for governor in config.governors]
 
 
 def run_survey(config: SurveyConfig = None) -> SurveyResult:
@@ -114,6 +169,35 @@ def run_survey(config: SurveyConfig = None) -> SurveyResult:
     return result
 
 
+def run_survey_summaries(config: SurveyConfig = None,
+                         workers: int = None) -> SurveySummaries:
+    """Run (or fetch from cache) the summary-level sweep in parallel.
+
+    The sweep's ~90 sessions are independent, making it the repo's
+    flagship parallel workload: configs fan out over
+    :func:`repro.sim.batch.run_batch` with ``workers`` processes
+    (``None``: one per CPU) and fail fast on any session error.  The
+    batch runner's deterministic merge means the result — and
+    therefore every figure built on it — is identical for any worker
+    count.  The cache is keyed by sweep config only; a cached result
+    satisfies any later ``workers`` value.
+    """
+    config = config or SurveyConfig()
+    if config in _SUMMARY_CACHE:
+        return _SUMMARY_CACHE[config]
+    entries = run_batch(_sweep_configs(config), workers=workers,
+                        on_error="raise")
+    summaries: Dict[str, Dict[str, Dict]] = {}
+    flat = iter(entries)
+    for app in config.apps:
+        summaries[app] = {governor: next(flat)
+                          for governor in config.governors}
+    result = SurveySummaries(config=config, summaries=summaries)
+    _SUMMARY_CACHE[config] = result
+    return result
+
+
 def clear_survey_cache() -> None:
     """Drop all cached sweeps (tests use this for isolation)."""
     _CACHE.clear()
+    _SUMMARY_CACHE.clear()

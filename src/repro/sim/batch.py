@@ -2,48 +2,84 @@
 
 The 30-app survey is embarrassingly parallel (every session is an
 independent simulation), and multi-seed replication multiplies it
-further.  This module fans session configurations out over a process
-pool and returns *summaries* — full :class:`SessionResult` objects hold
-live simulator state (listeners, closures) that does not cross process
-boundaries, and batch workflows only need the aggregate numbers anyway.
+further.  This module fans session configurations out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and returns
+*summaries* — full :class:`SessionResult` objects hold live simulator
+state (listeners, closures) that does not cross process boundaries, and
+batch workflows only need the aggregate numbers anyway.
 
 Summaries are exactly :func:`repro.analysis.export.session_summary_dict`
 plus the traces the figures aggregate (binned rates and power), all
 plain numpy/python data.
 
+Parallelism and determinism
+---------------------------
+``run_batch(configs, workers=N)`` dispatches configs to a process pool
+using the **spawn** start method by default (safe on every platform; no
+reliance on fork-inherited state), grouped into chunks so pool workers
+amortize their startup over many sessions.  Results are merged
+deterministically: every summary lands in its config's input slot, the
+batch-level metrics registry is folded in input order
+(:meth:`~repro.telemetry.metrics.MetricsRegistry.merge_snapshot`), and
+captured telemetry streams are interleaved on the simulation clock
+(:func:`~repro.telemetry.events.interleave_streams`).  A parallel run
+therefore produces output **byte-identical** to the serial path,
+regardless of worker count or completion order — the property the
+equivalence tests in ``tests/test_parallel_batch.py`` pin down and
+``docs/performance.md`` documents.
+
 Resilience
 ----------
 One misbehaving session must never take down a 30-app × multi-seed
-sweep.  Every config therefore runs *error-isolated*: a session that
-raises produces a structured **failure record** (see
+sweep.  Every config therefore runs *error-isolated inside its worker*:
+a session that raises produces a structured **failure record** (see
 :func:`make_failure_record`) in its slot of the result list instead of
-poisoning the whole pool, optionally after ``retries`` re-attempts.
-Results always come back in input order, one entry per config; use
-:func:`is_failure_record` to separate the two kinds and
-:func:`batch_failure_summary` for the end-of-batch report.  Callers
-that prefer the old fail-fast behaviour pass ``on_error="raise"``.
+poisoning the whole pool, optionally after ``retries`` re-attempts.  A
+worker that *dies outright* (killed, segfault, hard exit) breaks the
+shared pool; the runner then re-runs every unresolved config in a fresh
+single-worker pool, so only the lethal config is recorded as a
+:class:`~repro.errors.WorkerCrashError` failure and its innocent
+pool-mates still complete.  Results always come back in input order,
+one entry per config; use :func:`is_failure_record` to separate the two
+kinds and :func:`batch_failure_summary` for the end-of-batch report.
+Callers that prefer the old fail-fast behaviour pass
+``on_error="raise"``.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import math
 import multiprocessing
-from typing import Callable, Dict, List, Optional, Sequence
+import pathlib
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.export import session_summary_dict
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, WorkerCrashError
+from ..telemetry.events import interleave_streams
 from ..telemetry.metrics import MetricsRegistry
 from .session import SessionConfig, run_session
 
 #: ``on_error`` modes of :func:`run_batch`.
 ON_ERROR_CHOICES = ("record", "raise")
 
+#: Multiprocessing start methods :func:`run_batch` accepts.  ``spawn``
+#: is the default: it works on every platform and never inherits
+#: parent state, so the pooled path stays correct wherever the serial
+#: path is.
+MP_CONTEXT_CHOICES = ("spawn", "fork", "forkserver")
 
-def run_session_summary(config: SessionConfig) -> Dict:
-    """Run one session and return its plain-data summary.
+#: Seconds the pool gets to prove it can start a worker at all before
+#: the batch falls back to the serial path (constrained sandboxes).
+_POOL_PROBE_TIMEOUT_S = 60.0
 
-    Module-level (picklable) so it can be a multiprocessing worker.
-    """
-    result = run_session(config)
+
+def _summarize(result) -> Dict:
+    """Plain-data summary of one finished session (summary + traces)."""
     summary = session_summary_dict(result)
     centers, power = result.power_trace(bin_width_s=1.0)
     _, content = result.meaningful_compositions.binned_rate(
@@ -54,6 +90,14 @@ def run_session_summary(config: SessionConfig) -> Dict:
         "content_fps": content.tolist(),
     }
     return summary
+
+
+def run_session_summary(config: SessionConfig) -> Dict:
+    """Run one session and return its plain-data summary.
+
+    Module-level (picklable) so it can be a multiprocessing worker.
+    """
+    return _summarize(run_session(config))
 
 
 # ----------------------------------------------------------------------
@@ -98,8 +142,9 @@ def batch_metrics(results: Sequence[Dict]) -> MetricsRegistry:
 
     Counted: ``batch.sessions_total`` / ``_succeeded`` / ``_failed``,
     ``batch.retry_attempts`` (extra attempts consumed by failing
-    sessions beyond their first run) and ``batch.timeouts`` (failures
-    whose error was the pool's per-session wall-clock budget).
+    sessions beyond their first run), ``batch.timeouts`` (failures
+    whose error was the pool's per-session wall-clock budget) and
+    ``batch.worker_crashes`` (failures where the worker process died).
     """
     metrics = MetricsRegistry()
     total = metrics.counter("batch.sessions_total")
@@ -107,6 +152,7 @@ def batch_metrics(results: Sequence[Dict]) -> MetricsRegistry:
     failed = metrics.counter("batch.sessions_failed")
     retries = metrics.counter("batch.retry_attempts")
     timeouts = metrics.counter("batch.timeouts")
+    crashes = metrics.counter("batch.worker_crashes")
     for entry in results:
         total.inc()
         if not is_failure_record(entry):
@@ -116,6 +162,8 @@ def batch_metrics(results: Sequence[Dict]) -> MetricsRegistry:
         retries.inc(max(0, entry.get("attempts", 1) - 1))
         if entry.get("error_type") == "TimeoutError":
             timeouts.inc()
+        if entry.get("error_type") == "WorkerCrashError":
+            crashes.inc()
     return metrics
 
 
@@ -135,6 +183,37 @@ def batch_failure_summary(results: Sequence[Dict]) -> Dict:
         "failed": len(failures),
         "failures": failures,
         "counters": counters,
+    }
+
+
+def batch_telemetry_summary(results: Sequence[Dict]) -> Dict:
+    """Merged telemetry of every telemetered session in a batch.
+
+    Folds the per-session ``telemetry`` blocks — event counts and
+    metrics-registry snapshots — into one batch-level view, always in
+    *input* order, so the merge is independent of worker count and
+    completion order (counters add, gauges last-write-wins by config
+    index, histograms combine; see
+    :meth:`~repro.telemetry.metrics.MetricsRegistry.merge_snapshot`).
+    Failure records and sessions that ran without telemetry contribute
+    nothing.
+    """
+    blocks = [entry["telemetry"] for entry in results
+              if not is_failure_record(entry) and "telemetry" in entry]
+    by_kind: Dict[str, int] = {}
+    registry = MetricsRegistry()
+    for block in blocks:
+        for kind, count in block["events"]["by_kind"].items():
+            by_kind[kind] = by_kind.get(kind, 0) + count
+        registry.merge_snapshot(block["metrics"])
+    return {
+        "sessions_with_telemetry": len(blocks),
+        "events": {
+            "total": sum(by_kind.values()),
+            "by_kind": {kind: by_kind[kind]
+                        for kind in sorted(by_kind)},
+        },
+        "metrics": registry.as_dict(),
     }
 
 
@@ -158,51 +237,91 @@ def format_batch_failures(results: Sequence[Dict]) -> str:
 
 
 # ----------------------------------------------------------------------
-# Isolated execution
+# Isolated execution (pool workers — all module-level, picklable)
 # ----------------------------------------------------------------------
 
-def _run_isolated(index: int, config: SessionConfig,
-                  retries: int) -> Dict:
-    """Run one config, catching anything it raises.
+def _with_capture(config: SessionConfig) -> SessionConfig:
+    """The same config with a lossless telemetry capture buffer."""
+    if config.telemetry is None:
+        return config
+    return dataclasses.replace(
+        config,
+        telemetry=dataclasses.replace(config.telemetry,
+                                      capture_buffer=True))
 
-    Module-level (picklable) pool worker.  Returns either a summary or
-    a failure record; never raises.  A deterministic simulation fails
-    identically on every attempt, so retries mainly cover sessions made
-    flaky by their environment (pool pressure, memory) — but they are
-    honoured uniformly so callers get one knob.
+
+def _session_payload(config: SessionConfig, capture: bool) -> Dict:
+    """Run one session; return its summary plus captured events.
+
+    Captured events drop their ``wall_s`` field: emission wall time is
+    nondeterministic by nature, and scrubbing it here is what lets the
+    batch's combined stream be byte-identical across runs and worker
+    counts (the simulation clock, ``sim_s``, carries the ordering).
+    """
+    run_config = _with_capture(config) if capture else config
+    result = run_session(run_config)
+    events = []
+    if capture:
+        for event in result.telemetry_events():
+            event = dict(event)
+            event.pop("wall_s", None)
+            events.append(event)
+    return {"entry": _summarize(result), "events": events}
+
+
+def _attempt(index: int, config: SessionConfig, retries: int,
+             strict: bool, capture: bool) -> Dict:
+    """Run one config with retry/isolation semantics, inside a worker.
+
+    Returns a payload (``entry`` + ``events``); in non-strict mode it
+    never raises — a session that fails every attempt yields a failure
+    record instead.  A deterministic simulation fails identically on
+    every attempt, so retries mainly cover sessions made flaky by their
+    environment (pool pressure, memory) — but they are honoured
+    uniformly so callers get one knob.
     """
     error: Optional[BaseException] = None
     attempts = 0
     for attempts in range(1, retries + 2):
         try:
-            return run_session_summary(config)
+            return _session_payload(config, capture)
         except Exception as exc:  # noqa: BLE001 - isolation boundary
             error = exc
     assert error is not None
-    return make_failure_record(index, config, error, attempts)
+    if strict:
+        raise error
+    return {"entry": make_failure_record(index, config, error, attempts),
+            "events": []}
 
 
-def _run_strict(index: int, config: SessionConfig,
-                retries: int) -> Dict:
-    """Pool worker for ``on_error="raise"``: last failure propagates."""
-    error: Optional[BaseException] = None
-    for _ in range(retries + 1):
-        try:
-            return run_session_summary(config)
-        except Exception as exc:  # noqa: BLE001
-            error = exc
-    assert error is not None
-    raise error
+def _run_chunk(items: Sequence[Tuple[int, SessionConfig]],
+               retries: int, strict: bool, capture: bool) -> List[Dict]:
+    """Pool worker: run one chunk of ``(index, config)`` pairs."""
+    return [_attempt(index, config, retries, strict, capture)
+            for index, config in items]
 
+
+def _pool_probe() -> bool:
+    """Trivial task proving the pool can start a worker at all."""
+    return True
+
+
+# ----------------------------------------------------------------------
+# The batch runner
+# ----------------------------------------------------------------------
 
 def run_batch(configs: Sequence[SessionConfig],
               processes: Optional[int] = None,
               *,
+              workers: Optional[int] = None,
               retries: int = 0,
               timeout_s: Optional[float] = None,
               on_error: str = "record",
               progress: Optional[Callable[[int, int, Dict], None]]
-              = None) -> List[Dict]:
+              = None,
+              mp_context: str = "spawn",
+              chunksize: Optional[int] = None,
+              stream_path: Optional[str] = None) -> List[Dict]:
     """Run many sessions, in parallel when it pays off.
 
     Parameters
@@ -210,19 +329,27 @@ def run_batch(configs: Sequence[SessionConfig],
     configs:
         The sessions to run; results come back in the same order, one
         entry per config (summary dict or failure record).
+    workers:
+        Worker-process count.  ``None`` picks
+        ``min(cpu_count, len(configs))``; 1 (or a single config) runs
+        in-process, which is also the deterministic fallback on
+        platforms where no worker process can start.  The serial path
+        applies the same isolation semantics as the pool, and a
+        parallel run returns summaries byte-identical to a serial one.
     processes:
-        Worker count.  ``None`` picks ``min(cpu_count, len(configs))``;
-        1 (or a single config) runs in-process, which is also the
-        deterministic fallback on platforms without fork.  The serial
-        path applies the same isolation semantics as the pool.
+        Legacy alias of ``workers`` (kept positional for old callers);
+        setting both to different values is an error.
     retries:
         Extra attempts per failing session before recording (or
-        raising) its failure.
+        raising) its failure.  Honoured *inside* the worker, so a retry
+        costs no extra dispatch.
     timeout_s:
         Per-session wall-clock budget, enforced in pooled mode: a
         session still running after its budget yields a timeout failure
-        record (its worker is left to finish in the background).  Not
-        enforceable in-process, so the serial path ignores it.
+        record and the pool's worker processes are terminated once the
+        batch resolves (a hung session cannot block interpreter exit).
+        Forces per-session dispatch (``chunksize=1``).  Not enforceable
+        in-process, so the serial path ignores it.
     on_error:
         ``"record"`` (default) turns a failing session into a
         structured failure record in its result slot; ``"raise"``
@@ -233,15 +360,39 @@ def run_batch(configs: Sequence[SessionConfig],
         summary or failure record.  Drives batch progress reporting —
         the CLI prints per-session status lines from exactly this
         hook.  A raising callback propagates; keep it cheap.
+    mp_context:
+        Multiprocessing start method (:data:`MP_CONTEXT_CHOICES`).
+        ``spawn`` (default) is safe everywhere; ``fork`` starts workers
+        faster on POSIX when the parent holds no unsafe state.
+    chunksize:
+        Configs per pool task.  ``None`` picks ``ceil(n / (workers *
+        4))`` so each worker sees ~4 chunks (amortizing startup while
+        keeping the queue balanced).  Must be 1 (or ``None``) when
+        ``timeout_s`` is set.
+    stream_path:
+        Write one combined telemetry JSONL stream for the whole batch
+        to this path.  Sessions configured with telemetry capture their
+        full event streams (in workers, shipped back as plain data);
+        the batch interleaves them deterministically on the simulation
+        clock (:func:`~repro.telemetry.events.interleave_streams`) and
+        writes one file — the supported way to stream a batch, since
+        per-session ``jsonl_path`` sinks sharing one path would
+        overwrite each other across workers.  Sessions without
+        telemetry contribute nothing.
     """
     configs = list(configs)
     if not configs:
         raise ConfigurationError("run_batch needs at least one config")
-    if processes is None:
-        processes = min(multiprocessing.cpu_count(), len(configs))
-    if processes < 1:
-        raise ConfigurationError(f"processes must be >= 1, got "
-                                 f"{processes}")
+    if (workers is not None and processes is not None
+            and workers != processes):
+        raise ConfigurationError(
+            f"workers ({workers}) and its legacy alias processes "
+            f"({processes}) disagree; set only one")
+    count = workers if workers is not None else processes
+    if count is None:
+        count = min(multiprocessing.cpu_count(), len(configs))
+    if count < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {count}")
     if retries < 0:
         raise ConfigurationError(f"retries must be >= 0, got {retries}")
     if timeout_s is not None and timeout_s <= 0:
@@ -251,49 +402,200 @@ def run_batch(configs: Sequence[SessionConfig],
         raise ConfigurationError(
             f"on_error must be one of {ON_ERROR_CHOICES}, "
             f"got {on_error!r}")
-    worker = _run_isolated if on_error == "record" else _run_strict
+    if mp_context not in MP_CONTEXT_CHOICES:
+        raise ConfigurationError(
+            f"mp_context must be one of {MP_CONTEXT_CHOICES}, "
+            f"got {mp_context!r}")
+    if chunksize is not None and chunksize < 1:
+        raise ConfigurationError(
+            f"chunksize must be >= 1, got {chunksize}")
+    if timeout_s is not None and chunksize is not None and chunksize > 1:
+        raise ConfigurationError(
+            "per-session timeout_s requires per-session dispatch; "
+            f"chunksize must be 1 (got {chunksize})")
+
+    strict = on_error == "raise"
+    capture = stream_path is not None
     total = len(configs)
+    indexed = list(enumerate(configs))
 
     def _note(done: int, entry: Dict) -> None:
         if progress is not None:
             progress(done, total, entry)
 
-    if processes == 1 or total == 1:
-        return _run_serial(configs, worker, retries, _note)
-    try:
-        pool = multiprocessing.Pool(processes)
-    except (OSError, ValueError):
-        # Pool creation can fail in constrained sandboxes; the batch
-        # still completes — serially, with identical isolation.
-        return _run_serial(configs, worker, retries, _note)
-    with pool:
-        pending = [pool.apply_async(worker, (index, config, retries))
-                   for index, config in enumerate(configs)]
-        results: List[Dict] = []
-        for index, (config, handle) in enumerate(zip(configs, pending)):
-            try:
-                results.append(handle.get(timeout_s))
-            except multiprocessing.TimeoutError:
-                record = make_failure_record(
-                    index, config,
-                    TimeoutError(f"session exceeded {timeout_s:g} s"),
-                    attempts=1)
-                if on_error == "raise":
-                    pool.terminate()
-                    raise TimeoutError(
-                        f"session #{index} ({record['app']}) exceeded "
-                        f"{timeout_s:g} s") from None
-                results.append(record)
-            _note(index + 1, results[-1])
-        return results
+    if count == 1 or total == 1:
+        payloads = _run_serial(indexed, retries, strict, capture, _note)
+    else:
+        payloads = _run_pooled(indexed, count, retries, timeout_s,
+                               strict, capture, mp_context, chunksize,
+                               _note)
+    if stream_path is not None:
+        _write_stream(stream_path, payloads)
+    return [payload["entry"] for payload in payloads]
 
 
-def _run_serial(configs: Sequence[SessionConfig], worker,
-                retries: int,
+def _run_serial(indexed: Sequence[Tuple[int, SessionConfig]],
+                retries: int, strict: bool, capture: bool,
                 note: Callable[[int, Dict], None]) -> List[Dict]:
-    """The in-process batch path (also the no-fork fallback)."""
-    results: List[Dict] = []
-    for index, config in enumerate(configs):
-        results.append(worker(index, config, retries))
-        note(index + 1, results[-1])
-    return results
+    """The in-process batch path (also the no-pool fallback)."""
+    payloads: List[Dict] = []
+    for index, config in indexed:
+        payloads.append(_attempt(index, config, retries, strict,
+                                 capture))
+        note(len(payloads), payloads[-1]["entry"])
+    return payloads
+
+
+def _run_pooled(indexed: List[Tuple[int, SessionConfig]],
+                workers: int, retries: int, timeout_s: Optional[float],
+                strict: bool, capture: bool, mp_context: str,
+                chunksize: Optional[int],
+                note: Callable[[int, Dict], None]) -> List[Dict]:
+    """Dispatch chunks to a process pool; merge results by input slot."""
+    total = len(indexed)
+    if timeout_s is not None:
+        chunksize = 1
+    elif chunksize is None:
+        chunksize = max(1, math.ceil(total / (workers * 4)))
+    chunks = [indexed[i:i + chunksize]
+              for i in range(0, total, chunksize)]
+    ctx = multiprocessing.get_context(mp_context)
+    try:
+        executor = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=ctx)
+    except (OSError, ValueError):
+        return _run_serial(indexed, retries, strict, capture, note)
+    if not _probe_pool(executor):
+        # Constrained sandboxes may refuse to start worker processes;
+        # the batch still completes — serially, with identical
+        # isolation (and identical bytes).
+        return _run_serial(indexed, retries, strict, capture, note)
+
+    slots: List[Optional[Dict]] = [None] * total
+    clean = False
+    try:
+        futures = [executor.submit(_run_chunk, chunk, retries, strict,
+                                   capture)
+                   for chunk in chunks]
+        broken = False
+        timed_out = False
+        done = 0
+        for chunk, future in zip(chunks, futures):
+            if broken:
+                payloads = _salvage_chunk(chunk, retries, timeout_s,
+                                          strict, capture, ctx)
+            else:
+                try:
+                    payloads = future.result(timeout_s)
+                except FuturesTimeoutError:
+                    timed_out = True
+                    payloads = [_timeout_payload(chunk[0], timeout_s,
+                                                 strict)]
+                except BrokenProcessPool:
+                    broken = True
+                    payloads = _salvage_chunk(chunk, retries, timeout_s,
+                                              strict, capture, ctx)
+            for (index, _), payload in zip(chunk, payloads):
+                slots[index] = payload
+                done += 1
+                note(done, payload["entry"])
+        clean = not (timed_out or broken)
+    finally:
+        _shutdown(executor, force=not clean)
+    assert all(slot is not None for slot in slots)
+    return slots  # type: ignore[return-value]
+
+
+def _probe_pool(executor: ProcessPoolExecutor) -> bool:
+    """True when the pool can actually start a worker."""
+    try:
+        return executor.submit(_pool_probe).result(
+            _POOL_PROBE_TIMEOUT_S)
+    except (BrokenProcessPool, FuturesTimeoutError, OSError):
+        _shutdown(executor, force=True)
+        return False
+
+
+def _timeout_payload(item: Tuple[int, SessionConfig],
+                     timeout_s: Optional[float],
+                     strict: bool) -> Dict:
+    """Failure payload (or fail-fast raise) for a timed-out session."""
+    index, config = item
+    record = make_failure_record(
+        index, config,
+        TimeoutError(f"session exceeded {timeout_s:g} s"),
+        attempts=1)
+    if strict:
+        raise TimeoutError(
+            f"session #{index} ({record['app']}) exceeded "
+            f"{timeout_s:g} s")
+    return {"entry": record, "events": []}
+
+
+def _salvage_chunk(chunk: Sequence[Tuple[int, SessionConfig]],
+                   retries: int, timeout_s: Optional[float],
+                   strict: bool, capture: bool, ctx) -> List[Dict]:
+    """Re-run a chunk after the shared pool broke.
+
+    Each config gets its own fresh single-worker pool: innocent
+    sessions that merely shared the pool with a lethal one complete
+    normally, while a config that kills its worker *again* is recorded
+    as a :class:`~repro.errors.WorkerCrashError` failure (or raised,
+    in fail-fast mode) without taking anything else down.
+    """
+    payloads = []
+    for index, config in chunk:
+        rescue = ProcessPoolExecutor(max_workers=1, mp_context=ctx)
+        crashed = False
+        try:
+            future = rescue.submit(_run_chunk, [(index, config)],
+                                   retries, strict, capture)
+            try:
+                payloads.append(future.result(timeout_s)[0])
+            except FuturesTimeoutError:
+                crashed = True
+                payloads.append(_timeout_payload((index, config),
+                                                 timeout_s, strict))
+            except BrokenProcessPool:
+                crashed = True
+                error = WorkerCrashError(
+                    f"worker process died running session #{index}",
+                    context={"subsystem": "batch",
+                             "config_index": index})
+                if strict:
+                    raise error from None
+                payloads.append({
+                    "entry": make_failure_record(index, config, error,
+                                                 attempts=1),
+                    "events": [],
+                })
+        finally:
+            _shutdown(rescue, force=crashed)
+    return payloads
+
+
+def _shutdown(executor: ProcessPoolExecutor, force: bool) -> None:
+    """Release a pool; ``force`` also terminates its worker processes.
+
+    Forcing mirrors ``multiprocessing.Pool.terminate``: after a
+    timeout or crash the pool may still hold a running (possibly hung)
+    session, and a plain shutdown — or interpreter exit — would block
+    on it.  Terminating the workers is safe here because every
+    unresolved config already has its failure record.
+    """
+    executor.shutdown(wait=not force, cancel_futures=force)
+    if force:
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+
+
+def _write_stream(stream_path, payloads: Sequence[Dict]) -> pathlib.Path:
+    """Write the batch's interleaved telemetry stream as JSONL."""
+    events = interleave_streams([payload["events"]
+                                 for payload in payloads])
+    path = pathlib.Path(stream_path)
+    with path.open("w") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+    return path

@@ -39,11 +39,24 @@ from .events import (
     EVENT_VSYNC_CLIP,
     EVENT_WATCHDOG_STATE,
     TelemetryEvent,
+    interleave_streams,
 )
 from .hub import TelemetryConfig, TelemetryHub, build_hub
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
 from .profiling import SPAN_BUCKET_EDGES_S, span_summary, timed
-from .sinks import JsonlSink, NullSink, RingBufferSink, TelemetrySink
+from .sinks import (
+    BufferSink,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    TelemetrySink,
+)
 from .stats import (
     format_stats,
     parse_jsonl,
@@ -52,6 +65,7 @@ from .stats import (
 )
 
 __all__ = [
+    "BufferSink",
     "Counter",
     "EVENT_FAULT_INJECTED",
     "EVENT_KINDS",
@@ -76,6 +90,8 @@ __all__ = [
     "TelemetrySink",
     "build_hub",
     "format_stats",
+    "interleave_streams",
+    "merge_snapshots",
     "parse_jsonl",
     "span_summary",
     "summarize_events",

@@ -14,7 +14,7 @@ JSONL stream written today stays parseable by tomorrow's tooling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, List, Sequence
 
 #: Session lifecycle markers (data: app, governor, seed, duration_s).
 EVENT_SESSION_START = "session_start"
@@ -99,3 +99,28 @@ class TelemetryEvent:
             "wall_s": self.wall_time_s,
             "data": dict(self.data),
         }
+
+
+def interleave_streams(
+        streams: Sequence[Sequence[Dict[str, Any]]]
+) -> List[Dict[str, Any]]:
+    """Merge per-session event streams into one deterministic timeline.
+
+    ``streams`` holds one event-dict list per session (the
+    :meth:`TelemetryEvent.to_json_dict` form, each list in emission
+    order), indexed by the session's *input position* — in a batch, its
+    config index.  Events are ordered by ``(sim_time, stream index,
+    within-stream position)``: sessions share one simulated timeline,
+    ties go to the earlier input slot, and a session's own events never
+    reorder.  The key uses no wall-clock field, so the *order* is
+    identical no matter how many workers produced the streams or when
+    each finished — this is the merge the parallel batch runner applies
+    before writing a combined JSONL stream.
+    """
+    merged = []
+    for stream_index, stream in enumerate(streams):
+        for position, event in enumerate(stream):
+            merged.append((float(event.get("sim_s", 0.0)),
+                           stream_index, position, event))
+    merged.sort(key=lambda item: item[:3])
+    return [event for _, _, _, event in merged]

@@ -28,7 +28,7 @@ from .profiling import (
     Span,
     span_summary,
 )
-from .sinks import JsonlSink, RingBufferSink, TelemetrySink
+from .sinks import BufferSink, JsonlSink, RingBufferSink, TelemetrySink
 
 
 @dataclass(frozen=True)
@@ -45,16 +45,25 @@ class TelemetryConfig:
     profile_spans:
         Instrument the metering hot path with ``perf_counter`` spans.
         Off, the stream still carries control events (rate switches,
-        boosts, watchdog moves) but no ``span`` events.
+        boosts, watchdog moves) but no ``span`` events.  Span timings
+        are wall clock — leave this off when byte-identical summaries
+        across runs matter (the parallel batch equivalence guarantee;
+        see ``docs/performance.md``).
     session_id:
         Override the deterministic default id
         (``app:governor:seed``).
+    capture_buffer:
+        Attach a lossless :class:`~repro.telemetry.sinks.BufferSink`
+        holding every event in memory.  The batch runner sets this on
+        worker sessions to ship complete streams back across the
+        process boundary for deterministic interleaving.
     """
 
     jsonl_path: Optional[str] = None
     ring_capacity: int = 4096
     profile_spans: bool = True
     session_id: Optional[str] = None
+    capture_buffer: bool = False
 
     def __post_init__(self) -> None:
         if self.ring_capacity != 0:
@@ -109,6 +118,14 @@ class TelemetryHub:
         """The first ring-buffer sink, if one is attached."""
         for sink in self._sinks:
             if isinstance(sink, RingBufferSink):
+                return sink
+        return None
+
+    @property
+    def buffer(self) -> Optional[BufferSink]:
+        """The first lossless buffer sink, if one is attached."""
+        for sink in self._sinks:
+            if isinstance(sink, BufferSink):
                 return sink
         return None
 
@@ -236,6 +253,8 @@ def build_hub(config: Optional[TelemetryConfig],
         sinks.append(RingBufferSink(config.ring_capacity))
     if config.jsonl_path is not None:
         sinks.append(JsonlSink(config.jsonl_path))
+    if config.capture_buffer:
+        sinks.append(BufferSink())
     return TelemetryHub(
         session_id=config.session_id or default_session_id,
         sinks=sinks, profile_spans=config.profile_spans)

@@ -157,6 +157,35 @@ class Histogram:
             "max": self._max,
         }
 
+    def merge_dict(self, snapshot: dict) -> None:
+        """Fold another histogram's :meth:`as_dict` snapshot in.
+
+        The snapshot's edges must match this histogram's exactly —
+        merging distributions bucketed differently is meaningless and
+        raises :class:`~repro.errors.TelemetryError`.
+        """
+        edges = tuple(float(e) for e in snapshot["edges"])
+        if edges != self.edges:
+            raise TelemetryError(
+                f"cannot merge histogram {self.name!r}: edges "
+                f"{list(edges)} != {list(self.edges)}",
+                context={"subsystem": "telemetry",
+                         "component": "histogram", "name": self.name})
+        for i, count in enumerate(snapshot["counts"]):
+            self._counts[i] += int(count)
+        self._count += int(snapshot["count"])
+        self._sum += float(snapshot["sum"])
+        for bound, pick in ((snapshot["min"], min),
+                            (snapshot["max"], max)):
+            if bound is None:
+                continue
+            if pick is min:
+                self._min = (float(bound) if self._min is None
+                             else pick(self._min, float(bound)))
+            else:
+                self._max = (float(bound) if self._max is None
+                             else pick(self._max, float(bound)))
+
 
 class MetricsRegistry:
     """Get-or-create registry keyed by metric name.
@@ -253,3 +282,45 @@ class MetricsRegistry:
             "histograms": {name: self._histograms[name].as_dict()
                            for name in sorted(self._histograms)},
         }
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold one :meth:`as_dict` snapshot into this registry.
+
+        The merge rules per instrument type:
+
+        * counters **add** — totals across sessions sum;
+        * gauges **overwrite** (last-write-wins, like :meth:`Gauge.set`)
+          — so folding snapshots in a fixed order yields a fixed value;
+        * histograms **combine**: per-bucket counts and sums add,
+          min/max widen; edges must match
+          (:meth:`Histogram.merge_dict`).
+
+        This is how the batch runner builds one batch-level registry
+        from per-worker session registries: snapshots are always folded
+        in *input* (config) order, which makes the merged registry
+        independent of worker count and completion order.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, hist in snapshot.get("histograms", {}).items():
+            self.histogram(name, hist["edges"]).merge_dict(hist)
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Merge registry snapshots into one, deterministically.
+
+    Pure-function form of :meth:`MetricsRegistry.merge_snapshot`:
+    builds a fresh registry, folds every snapshot in the order given,
+    and returns the merged :meth:`MetricsRegistry.as_dict`.  Callers
+    that need order-independence (the parallel batch runner) pass
+    snapshots in input order, never completion order.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged.as_dict()

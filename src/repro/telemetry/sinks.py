@@ -48,6 +48,35 @@ class NullSink(TelemetrySink):
         pass
 
 
+class BufferSink(TelemetrySink):
+    """Keeps **every** event in memory, in emission order.
+
+    The lossless sibling of :class:`RingBufferSink`, used where the
+    whole stream must survive the session — most importantly the batch
+    runner's cross-process stream collection, where each worker ships
+    its sessions' complete event streams back to the parent for
+    deterministic interleaving (``docs/performance.md``).  Unbounded:
+    callers own the memory trade-off.
+    """
+
+    def __init__(self) -> None:
+        self._events: list = []
+
+    def write(self, event: TelemetryEvent) -> None:
+        self._events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> Tuple[TelemetryEvent, ...]:
+        """Every event received, oldest first."""
+        return tuple(self._events)
+
+
 class RingBufferSink(TelemetrySink):
     """Keeps the most recent ``capacity`` events in memory."""
 

@@ -98,10 +98,16 @@ class TestGridProperties:
         grid = GridSpec.from_sample_count(shape, samples)
         total = shape[0] * shape[1]
         assert 1 <= grid.sample_count <= total
-        # Square-cell rounding keeps the count within ~2x of the
-        # request (or capped at the full buffer).
+        # Square-cell rounding: each grid dimension is
+        # round(dim / cell) clamped to >= 1, so the count is bounded by
+        # (h/cell + 1) * (w/cell + 1) <= samples + (h + w)/cell + 1.
+        # The additive slack dominates for thin buffers (a 41x4 buffer
+        # at samples=2 legitimately yields a 5x1 grid).
         if samples < total:
-            assert grid.sample_count <= max(2 * samples, 4)
+            import math
+            cell = math.sqrt(total / samples)
+            bound = samples + (shape[0] + shape[1]) / cell + 1
+            assert grid.sample_count <= bound
 
     @given(shape=buffer_shapes, seed=st.integers(0, 2**16))
     @settings(max_examples=30)

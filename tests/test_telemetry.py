@@ -398,6 +398,7 @@ class TestBatchTelemetry:
             "batch.sessions_failed": 0,
             "batch.retry_attempts": 0,
             "batch.timeouts": 0,
+            "batch.worker_crashes": 0,
         }
 
     def test_progress_callback_called_per_session(self):
