@@ -77,6 +77,7 @@ from .errors import (
     MeteringError,
     ReproError,
     SimulationError,
+    SpecError,
     TelemetryError,
     WorkerCrashError,
     WorkloadError,
@@ -95,6 +96,21 @@ from .inputs import (
     TouchKind,
     TouchScript,
     TouchSource,
+)
+from .pipeline import (
+    APPS,
+    GOVERNORS,
+    PANELS,
+    GovernorContext,
+    Registry,
+    SessionBuilder,
+    SessionSpec,
+    build_governor,
+    fixed_baseline_config,
+    governor_names,
+    run_fixed_baseline,
+    run_spec,
+    spec_roundtrip,
 )
 from .power import (
     MonsoonMeter,
@@ -195,7 +211,12 @@ __all__ = [
     "PowerCalibration",
     "PowerModel",
     "PowerReport",
+    "APPS",
+    "GOVERNORS",
+    "GovernorContext",
+    "PANELS",
     "QualityReport",
+    "Registry",
     "ReproError",
     "RingBufferSink",
     "SampledDoubleBuffer",
@@ -205,9 +226,12 @@ __all__ = [
     "Section",
     "SectionBasedGovernor",
     "SectionTable",
+    "SessionBuilder",
     "SessionConfig",
     "SessionResult",
+    "SessionSpec",
     "SimulationError",
+    "SpecError",
     "Simulator",
     "Surface",
     "SurfaceManager",
@@ -231,11 +255,14 @@ __all__ = [
     "batch_failure_summary",
     "batch_metrics",
     "batch_telemetry_summary",
+    "build_governor",
     "build_hub",
     "compute_quality",
+    "fixed_baseline_config",
     "format_batch_failures",
     "format_stats",
     "galaxy_s3_calibration",
+    "governor_names",
     "is_failure_record",
     "make_failure_record",
     "nexus_revamped",
@@ -243,9 +270,12 @@ __all__ = [
     "panel_preset_names",
     "parse_jsonl",
     "run_batch",
+    "run_fixed_baseline",
     "run_scenario",
     "run_session",
     "run_session_summary",
+    "run_spec",
+    "spec_roundtrip",
     "summarize_events",
     "summarize_jsonl",
     "timed",

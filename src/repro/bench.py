@@ -10,7 +10,11 @@ about:
   (metering, governor, panel, power integration);
 * **parallel batch** — a 32-session native-resolution batch through
   :func:`repro.sim.batch.run_batch` at 1 worker and at N workers,
-  yielding the scaling headline ``batch32_speedup_x``.
+  yielding the scaling headline ``batch32_speedup_x``;
+* **spec codec** — one full
+  :class:`~repro.pipeline.spec.SessionSpec` round trip (config ->
+  spec -> JSON -> spec -> config), the per-session dispatch overhead
+  the parallel batch engine pays to ship sessions to workers.
 
 Every metric is emitted in a machine-readable JSON document
 (``BENCH_<rev>.json``; schema below) next to a human table, and
@@ -131,6 +135,26 @@ def _time_batch(configs: List[SessionConfig], workers: int,
     return min(timings)
 
 
+def _time_spec_roundtrip(repeats: int) -> float:
+    """Best seconds of one config -> spec -> JSON -> config round trip.
+
+    This is the batch engine's per-session dispatch overhead; it must
+    stay microscopic next to a session's run time, and the gate keeps
+    it that way.  Minimum over ``repeats`` for the same reason as the
+    meter timing.
+    """
+    from .pipeline.spec import spec_roundtrip
+
+    config = _native_config(duration_s=30.0)
+    spec_roundtrip(config)  # warm-up
+    timings = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        spec_roundtrip(config)
+        timings.append(time.perf_counter() - t0)
+    return float(np.min(timings))
+
+
 def run_bench(workers: Optional[int] = None,
               fast: bool = False) -> Dict:
     """Run every workload; returns the bench document (see schema).
@@ -156,6 +180,7 @@ def run_bench(workers: Optional[int] = None,
 
     run_session(_native_config(2.0))  # warm-up (imports, caches)
     meter_s = _time_meter_compare(repeats)
+    spec_s = _time_spec_roundtrip(repeats)
     native_s = _time_native_session(session_s, best_of=3)
     configs = _batch_configs(sessions, batch_session_s)
     serial_s = _time_batch(configs, workers=1, best_of=best_of)
@@ -173,6 +198,7 @@ def run_bench(workers: Optional[int] = None,
         "sessions": sessions,
         "metrics": {
             "meter_compare_9k_s": _metric(meter_s, "s"),
+            "spec_roundtrip_s": _metric(spec_s, "s"),
             "native_session_s": _metric(native_s, "s"),
             "batch32_workers1_s": _metric(serial_s, "s"),
             "batch32_workersN_s": _metric(parallel_s, "s"),

@@ -35,7 +35,12 @@ from .core.section_table import SectionTable
 from .display.presets import panel_preset, panel_preset_names
 from .errors import ReproError
 from .experiments.registry import EXPERIMENTS, experiment
-from .sim.session import GOVERNOR_CHOICES, SessionConfig, run_session
+from .pipeline import (
+    GOVERNOR_ORACLE,
+    fixed_baseline_config,
+    governor_names,
+)
+from .sim.session import SessionConfig, run_session
 from .telemetry.hub import TelemetryConfig
 from .telemetry.stats import format_stats, summarize_jsonl
 
@@ -64,7 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one session")
     _add_session_args(p_run)
     p_run.add_argument("--governor", default="section+boost",
-                       choices=GOVERNOR_CHOICES)
+                       choices=governor_names())
     p_run.add_argument("--oled", action="store_true",
                        help="track content-dependent OLED emission")
     p_run.set_defaults(func=cmd_run)
@@ -86,7 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
         "export", help="run a session and dump its traces")
     _add_session_args(p_export)
     p_export.add_argument("--governor", default="section+boost",
-                          choices=GOVERNOR_CHOICES)
+                          choices=governor_names())
     p_export.add_argument("--out", default="session",
                           help="output prefix: writes <out>.json, "
                                "<out>_trace.csv, <out>_events.csv")
@@ -99,8 +104,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "each")
     p_scn.add_argument("--segment-duration", type=float, default=20.0)
     p_scn.add_argument("--governor", default="section+boost",
-                       choices=[g for g in GOVERNOR_CHOICES
-                                if g != "oracle"])
+                       choices=[g for g in governor_names()
+                                if g != GOVERNOR_ORACLE])
     p_scn.add_argument("--seed", type=int, default=1)
     p_scn.set_defaults(func=cmd_scenario)
 
@@ -280,9 +285,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     from .sim.batch import run_batch
     governors = [g.strip() for g in args.governors.split(",") if g]
     faults = _resolve_faults(args)
-    configs = [SessionConfig(
-        app=args.app, governor="fixed", duration_s=args.duration,
-        seed=args.seed, panel=panel_preset(args.panel))]
+    configs = [fixed_baseline_config(
+        args.app, duration_s=args.duration, seed=args.seed,
+        panel=panel_preset(args.panel))]
     configs += [SessionConfig(
         app=args.app, governor=governor, duration_s=args.duration,
         seed=args.seed, panel=panel_preset(args.panel),

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from ..errors import ConfigurationError
 from .spec import PanelSpec
 
 #: The paper's device: Galaxy S3 LTE with the refresh-rate kernel patch.
@@ -49,27 +48,20 @@ LTPO_120_PANEL = PanelSpec(
     refresh_rates_hz=(1.0, 10.0, 24.0, 30.0, 40.0, 60.0, 90.0, 120.0),
 )
 
-_PRESETS = {
-    "galaxy-s3": GALAXY_S3_PANEL,
-    "fixed-60": FIXED_60_PANEL,
-    "three-level": THREE_LEVEL_PANEL,
-    "ltpo-120": LTPO_120_PANEL,
-}
-
-
 def panel_preset(name: str) -> PanelSpec:
     """Look up a panel preset by its short name.
 
-    Valid names are returned by :func:`panel_preset_names`.
+    Valid names are returned by :func:`panel_preset_names`.  Since the
+    pipeline refactor this delegates to the
+    :data:`repro.pipeline.panels.PANELS` registry (imported lazily —
+    the registry seeds itself from this module's constants), so panels
+    registered by extension modules resolve here too.
     """
-    try:
-        return _PRESETS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown panel preset {name!r}; "
-            f"available: {sorted(_PRESETS)}") from None
+    from ..pipeline.panels import PANELS
+    return PANELS.get(name)()
 
 
 def panel_preset_names() -> Tuple[str, ...]:
     """All registered preset names, sorted."""
-    return tuple(sorted(_PRESETS))
+    from ..pipeline.panels import PANELS
+    return tuple(sorted(PANELS.names()))

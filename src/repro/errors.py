@@ -40,6 +40,13 @@ class ConfigurationError(ReproError):
     """An object was constructed or configured with invalid parameters."""
 
 
+class SpecError(ConfigurationError):
+    """A serialized :class:`~repro.pipeline.spec.SessionSpec` document
+    is malformed (unknown keys, wrong schema tag, undecodable field).
+    Subclasses :class:`ConfigurationError` so handlers written for
+    invalid configs catch spec problems too."""
+
+
 class SimulationError(ReproError):
     """The simulation engine was used incorrectly (e.g. scheduling in the
     past, or running a simulator that was already finished)."""

@@ -16,7 +16,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..analysis.tables import format_table
-from ..sim.session import SessionConfig, run_session
+from ..pipeline.baseline import run_fixed_baseline
 
 #: The two trace applications of Figure 2.
 TRACE_APPS = ("Facebook", "Jelly Splash")
@@ -75,8 +75,8 @@ def run(duration_s: float = 60.0, seed: int = 1) -> Fig2Result:
     """Run the Figure 2 sessions."""
     traces: Dict[str, AppTrace] = {}
     for app in TRACE_APPS:
-        session = run_session(SessionConfig(
-            app=app, governor="fixed", duration_s=duration_s, seed=seed))
+        session = run_fixed_baseline(app, duration_s=duration_s,
+                                     seed=seed)
         centers, frame_rate = session.compositions.binned_rate(
             0.0, duration_s, 1.0)
         _, content_rate = session.meaningful_compositions.binned_rate(

@@ -27,7 +27,7 @@ from ..apps.wallpaper import nexus_revamped
 from ..core.content_rate import MeterConfig
 from ..core.grid import PAPER_PIXEL_BUDGETS, GridComparator, GridSpec
 from ..display.presets import GALAXY_S3_PANEL
-from ..sim.session import SessionConfig, run_session
+from ..pipeline.baseline import run_fixed_baseline
 from ..units import VSYNC_DEADLINE_60HZ_S
 
 
@@ -103,14 +103,13 @@ def run_accuracy(duration_s: float = 15.0, seed: int = 3,
     wallpaper = nexus_revamped()
     results = []
     for label, samples in budgets.items():
-        session = run_session(SessionConfig(
-            app=wallpaper,
-            governor="fixed",
+        session = run_fixed_baseline(
+            wallpaper,
             duration_s=duration_s,
             seed=seed,
             resolution_divisor=1,  # native 720x1280
             meter=MeterConfig(sample_count=samples),
-        ))
+        )
         grid = session.meter.grid
         results.append(BudgetAccuracy(
             label=label,
@@ -141,9 +140,9 @@ def run_catalog_accuracy(duration_s: float = 20.0, seed: int = 5,
 
     errors = {}
     for app in (apps or all_app_names()):
-        session = run_session(SessionConfig(
-            app=app, governor="fixed", duration_s=duration_s,
-            seed=seed, meter=MeterConfig(sample_count=sample_count)))
+        session = run_fixed_baseline(
+            app, duration_s=duration_s, seed=seed,
+            meter=MeterConfig(sample_count=sample_count))
         errors[app] = measure_accuracy(
             session.meter.total_meaningful,
             len(session.meaningful_compositions))

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..analysis.tables import format_table
 from ..core.quality import quality_vs_baseline
+from ..pipeline.baseline import run_fixed_baseline
 from ..sim.session import SessionConfig, SessionResult, run_session
 
 #: The two trace applications (same as Figure 2).
@@ -110,8 +111,8 @@ def run(duration_s: float = 60.0, seed: int = 1) -> Fig7Result:
     """Run the Figure 7 sessions (plus fixed baselines for reference)."""
     traces: Dict[Tuple[str, str], ControlTrace] = {}
     for app in TRACE_APPS:
-        baseline = run_session(SessionConfig(
-            app=app, governor="fixed", duration_s=duration_s, seed=seed))
+        baseline = run_fixed_baseline(app, duration_s=duration_s,
+                                      seed=seed)
         for method in METHODS:
             session = run_session(SessionConfig(
                 app=app, governor=method, duration_s=duration_s,

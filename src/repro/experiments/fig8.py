@@ -17,6 +17,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..analysis.tables import format_table
+from ..pipeline.baseline import run_fixed_baseline
 from ..power.meter import MonsoonMeter
 from ..sim.session import SessionConfig, run_session
 
@@ -84,8 +85,8 @@ def run(duration_s: float = 60.0, seed: int = 1,
     """Run the Figure 8 sessions and difference their power traces."""
     traces: Dict[Tuple[str, str], SavedPowerTrace] = {}
     for app in TRACE_APPS:
-        baseline = run_session(SessionConfig(
-            app=app, governor="fixed", duration_s=duration_s, seed=seed))
+        baseline = run_fixed_baseline(app, duration_s=duration_s,
+                                      seed=seed)
         centers, base_trace = baseline.power_trace(bin_width_s=1.0)
         monsoon = MonsoonMeter(noise_mw=meter_noise_mw, seed=seed)
         _, base_trace = monsoon.measure_trace(centers, base_trace)

@@ -18,6 +18,7 @@ import numpy as np
 from ..analysis.stats import MeanStd, mean_std
 from ..core.quality import quality_vs_baseline
 from ..errors import ConfigurationError
+from ..pipeline.baseline import run_fixed_baseline
 from ..sim.session import SessionConfig, run_session
 
 
@@ -75,9 +76,8 @@ def replicate_comparison(app: str, governor: str = "section+boost",
     saved = []
     quality = []
     for seed in seeds:
-        base = run_session(SessionConfig(
-            app=app, governor="fixed", duration_s=duration_s,
-            seed=seed))
+        base = run_fixed_baseline(app, duration_s=duration_s,
+                                  seed=seed)
         governed = run_session(SessionConfig(
             app=app, governor=governor, duration_s=duration_s,
             seed=seed))

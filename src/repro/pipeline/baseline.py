@@ -1,0 +1,52 @@
+"""The shared fixed-rate baseline session.
+
+Every figure in the paper is a comparison against the stock device —
+the panel pinned at its maximum refresh rate (``governor="fixed"``).
+Five experiment modules used to spell out that baseline config by hand;
+this helper is the single definition they all call now, so the
+baseline's meaning (governor, workload, seed discipline) can never
+drift between figures.
+
+``run_fixed_baseline(app, duration_s=60.0, seed=1)`` is the common
+case; keyword overrides pass straight through to
+:class:`~repro.sim.session.SessionConfig` for the experiments that
+need a native-resolution framebuffer or a custom metering budget.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Union
+
+from ..apps.profile import AppProfile
+from ..apps.wallpaper import WallpaperProfile
+from .governors import GOVERNOR_FIXED
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.session import SessionConfig, SessionResult
+
+
+def fixed_baseline_config(
+        app: Union[str, AppProfile, WallpaperProfile],
+        *, duration_s: float, seed: int,
+        **overrides: Any) -> "SessionConfig":
+    """The stock-device baseline config for ``app``.
+
+    Any additional :class:`~repro.sim.session.SessionConfig` keyword
+    (``resolution_divisor``, ``meter``, ``panel``, ...) passes through
+    unchanged; the governor is always ``"fixed"``.
+    """
+    from ..sim.session import SessionConfig
+
+    return SessionConfig(app=app, governor=GOVERNOR_FIXED,
+                         duration_s=duration_s, seed=seed, **overrides)
+
+
+def run_fixed_baseline(
+        app: Union[str, AppProfile, WallpaperProfile],
+        *, duration_s: float, seed: int,
+        **overrides: Any) -> "SessionResult":
+    """Run the stock-device baseline session for ``app``."""
+    from ..sim.session import run_session
+
+    return run_session(fixed_baseline_config(
+        app, duration_s=duration_s, seed=seed, **overrides))

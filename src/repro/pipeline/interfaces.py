@@ -1,0 +1,173 @@
+"""Typed stage interfaces of the session pipeline.
+
+The paper's pipeline is a chain of swappable stages::
+
+    touch script -> application -> compositor -> framebuffer ->
+    content-rate meter -> governor -> panel -> V-Sync -> application
+
+Each stage is described here as a :class:`typing.Protocol` — purely
+*structural* contracts, so the concrete classes
+(:class:`~repro.inputs.touch.TouchSource`,
+:class:`~repro.apps.base.Application`,
+:class:`~repro.core.content_rate.ContentRateMeter`,
+:class:`~repro.core.governor.GovernorPolicy` subclasses,
+:class:`~repro.display.panel.DisplayPanel`,
+:class:`~repro.power.model.PowerModel`) satisfy them without
+inheriting anything, and an extension satisfies them by simply having
+the right methods.  The :class:`~repro.pipeline.builder.SessionBuilder`
+is written against these protocols; the registries in
+:mod:`repro.pipeline` fill its slots by name.
+
+Alternate-stage work from the related literature — EVSO's
+perception-aware rate controller, Anglada et al.'s dynamic sampling
+rate (see PAPERS.md) — plugs in as another :class:`GovernorPolicy` or
+:class:`Meter` implementation against exactly these signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from ..inputs.touch import TouchEvent
+
+#: Touch-event callback signature (what an :class:`InputSource` feeds).
+TouchListener = Callable[[TouchEvent], None]
+
+#: V-Sync callback signature (what a :class:`Panel` feeds).
+VsyncListener = Callable[[float], None]
+
+
+@runtime_checkable
+class InputSource(Protocol):
+    """Delivers touch events into the pipeline on the simulation clock.
+
+    Implemented by :class:`~repro.inputs.touch.TouchSource` (replaying
+    a Monkey-generated :class:`~repro.inputs.touch.TouchScript`); a
+    trace-replay source reading real device logs would implement the
+    same two methods.
+    """
+
+    def add_listener(self, listener: TouchListener) -> None:
+        """Subscribe ``listener`` to every delivered event."""
+        ...
+
+    def start(self) -> None:
+        """Schedule the source's events onto the simulator."""
+        ...
+
+
+@runtime_checkable
+class FrameSource(Protocol):
+    """Produces frames: the application model driving the compositor.
+
+    Implemented by :class:`~repro.apps.base.Application` and
+    :class:`~repro.apps.wallpaper.LiveWallpaper`.  A frame source
+    reacts to touches (content bursts), renders on its own schedule,
+    and latches pending content into its surface on V-Sync.
+    """
+
+    def start(self) -> None:
+        """Begin the content process."""
+        ...
+
+    def on_touch(self, event: TouchEvent) -> None:
+        """React to one touch event."""
+        ...
+
+    def on_vsync(self, time: float) -> None:
+        """V-Sync tick: submit pending content for composition."""
+        ...
+
+
+@runtime_checkable
+class Meter(Protocol):
+    """Measures the content rate the governor consumes.
+
+    Implemented by :class:`~repro.core.content_rate.ContentRateMeter`
+    (grid-sampled framebuffer comparison, Section 3.1 of the paper).
+    """
+
+    def content_rate(self, now: float,
+                     window_s: Optional[float] = None) -> float:
+        """Meaningful frames per second over the sliding window."""
+        ...
+
+    @property
+    def total_frames(self) -> int:
+        """Frame updates observed so far."""
+        ...
+
+    @property
+    def total_meaningful(self) -> int:
+        """Meaningful (content-carrying) frames observed so far."""
+        ...
+
+
+@runtime_checkable
+class GovernorPolicy(Protocol):
+    """Decides the panel refresh rate (Section 3.2 of the paper).
+
+    Implemented by every concrete policy in :mod:`repro.core.governor`,
+    :mod:`repro.core.hysteresis`, :mod:`repro.baselines` and the
+    fail-safe :class:`~repro.core.watchdog.GovernorWatchdog` wrapper —
+    the registry in :mod:`repro.pipeline.governors` maps selector
+    strings to factories producing these.
+    """
+
+    @property
+    def name(self) -> str:
+        """Display name used in traces and reports."""
+        ...
+
+    def select_rate(self, now: float) -> float:
+        """The refresh rate (Hz) the panel should use right now."""
+        ...
+
+    def on_touch(self, time: float) -> Optional[float]:
+        """React to a touch; a returned rate is applied immediately."""
+        ...
+
+
+@runtime_checkable
+class Panel(Protocol):
+    """The display hardware: discrete refresh levels, V-Sync fan-out.
+
+    Implemented by :class:`~repro.display.panel.DisplayPanel`.
+    """
+
+    def set_refresh_rate(self, rate_hz: float) -> None:
+        """Request a switch to one of the panel's discrete levels."""
+        ...
+
+    def add_vsync_listener(self, listener: VsyncListener) -> None:
+        """Subscribe to every V-Sync tick."""
+        ...
+
+    def start(self) -> None:
+        """Begin emitting V-Sync."""
+        ...
+
+    def stop(self) -> None:
+        """Stop emitting V-Sync."""
+        ...
+
+    @property
+    def refresh_rate_hz(self) -> float:
+        """The currently active refresh rate."""
+        ...
+
+
+@runtime_checkable
+class PowerAccountant(Protocol):
+    """Prices a finished session's traces into energy.
+
+    Implemented by :class:`~repro.power.model.PowerModel`; the
+    structural contract is deliberately loose (``evaluate`` is
+    keyword-driven) because pricing happens *after* the run on
+    recorded traces, so alternate accountants only need to accept the
+    same trace keywords.
+    """
+
+    def evaluate(self, *args: object, **kwargs: object) -> object:
+        """Price one session; returns a report with mean power."""
+        ...

@@ -1,0 +1,65 @@
+"""The panel registry: preset name -> :class:`PanelSpec`.
+
+Single source of truth for ``--panel`` choices; the legacy helpers
+:func:`repro.display.presets.panel_preset` and
+:func:`~repro.display.presets.panel_preset_names` delegate here, so
+registering a device from an extension module makes it selectable
+everywhere at once::
+
+    from repro.display.spec import PanelSpec
+    from repro.pipeline import PANELS
+
+    @PANELS.register("pixel-9")
+    def make_pixel_9() -> PanelSpec:
+        return PanelSpec(name="Pixel 9 (sim)", width=1080, height=2424,
+                         refresh_rates_hz=(1.0, 10.0, 60.0, 120.0))
+
+Builtin factories return the module-level constants (identity, not
+copies): ``panel_preset("galaxy-s3") is GALAXY_S3_PANEL`` keeps
+holding, which session equality and the spec encoder rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..display.presets import (
+    FIXED_60_PANEL,
+    GALAXY_S3_PANEL,
+    LTPO_120_PANEL,
+    THREE_LEVEL_PANEL,
+)
+from ..display.spec import PanelSpec
+from .registry import Registry
+
+#: Factory signature every entry in :data:`PANELS` satisfies.
+PanelFactory = Callable[[], PanelSpec]
+
+#: The panel-preset registry.
+PANELS: Registry[PanelFactory] = Registry("panel preset")
+
+
+def _constant(spec: PanelSpec) -> PanelFactory:
+    def factory() -> PanelSpec:
+        return spec
+    factory.__name__ = f"make_{spec.name}"
+    return factory
+
+
+PANELS.register("galaxy-s3", _constant(GALAXY_S3_PANEL), builtin=True)
+PANELS.register("fixed-60", _constant(FIXED_60_PANEL), builtin=True)
+PANELS.register("three-level", _constant(THREE_LEVEL_PANEL),
+                builtin=True)
+PANELS.register("ltpo-120", _constant(LTPO_120_PANEL), builtin=True)
+
+
+def panel_key_for(spec: PanelSpec) -> Optional[str]:
+    """The preset key whose spec equals ``spec``, or None.
+
+    Used by the spec encoder to serialize well-known panels by name
+    rather than inline field dumps.
+    """
+    for key in PANELS.names():
+        if PANELS.get(key)() == spec:
+            return key
+    return None

@@ -1,0 +1,190 @@
+"""String-keyed component registries: one source of truth per stage.
+
+Before this layer existed, selecting a governor by name meant a chain
+of ``if config.governor == ...`` branches in ``run_session``, mirrored
+by hand-maintained choice tuples in the CLI, the batch runner and five
+experiment modules.  A :class:`Registry` replaces each of those chains
+with a single table: builtins register at import time, extensions
+register from their own module (one file, no edits elsewhere), and
+every consumer — CLI choices, config validation, the session builder,
+the parallel batch engine — reads the same table.
+
+Registries are deliberately small: a key -> factory mapping with
+
+* insertion-ordered ``names()`` (builtins keep their documented order),
+* unknown-key errors that *list the valid keys* (the error a user sees
+  from ``repro run --governor psychic`` names every alternative),
+* a builtin/extension split so the batch engine can ship extension
+  entries to worker processes (:meth:`extras` / :meth:`restore`), and
+* a configurable error type so each registry fails with the same
+  exception family its pre-registry lookup used.
+
+Factories must be **module-level callables** when sessions run through
+the parallel batch engine: extension entries cross process boundaries
+by pickle-by-reference, which requires an importable ``module.name``
+path (a lambda or closure works fine for single-process use).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+)
+
+from ..errors import ConfigurationError, ReproError
+
+F = TypeVar("F", bound=Callable[..., object])
+
+
+class Registry(Generic[F]):
+    """An ordered, string-keyed factory table for one component kind.
+
+    Parameters
+    ----------
+    kind:
+        Human name of the component family ("governor", "app",
+        "panel preset") — used in every error message.
+    error_type:
+        Exception class raised for unknown keys and registration
+        conflicts.  Defaults to
+        :class:`~repro.errors.ConfigurationError`; the app registry
+        uses :class:`~repro.errors.WorkloadError` to stay
+        indistinguishable from the catalog lookup it replaced.
+    """
+
+    def __init__(self, kind: str,
+                 error_type: Type[ReproError] = ConfigurationError
+                 ) -> None:
+        self._kind = kind
+        self._error_type = error_type
+        self._entries: Dict[str, F] = {}
+        self._builtins: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, key: str, factory: Optional[F] = None, *,
+                 builtin: bool = False,
+                 replace: bool = False) -> Callable[[F], F]:
+        """Register ``factory`` under ``key``.
+
+        Usable directly (``registry.register("name", factory)``) or as
+        a decorator (``@registry.register("name")``).  Re-registering
+        an existing key raises unless ``replace=True``; builtins can
+        never be replaced (they are the documented baseline every
+        comparison rests on).
+
+        Returns the factory (decorator form returns the decorated
+        callable unchanged).
+        """
+        if not key:
+            raise self._error_type(
+                f"{self._kind} registry keys must be non-empty strings")
+
+        def _register(target: F) -> F:
+            if key in self._entries:
+                if key in self._builtins:
+                    raise self._error_type(
+                        f"cannot replace builtin {self._kind} {key!r}")
+                if not replace:
+                    raise self._error_type(
+                        f"{self._kind} {key!r} is already registered; "
+                        f"pass replace=True to override")
+            self._entries[key] = target
+            if builtin and key not in self._builtins:
+                self._builtins.append(key)
+            return target
+
+        if factory is not None:
+            return _register(factory)  # type: ignore[return-value]
+        return _register
+
+    def unregister(self, key: str) -> None:
+        """Remove an extension entry (builtins are permanent)."""
+        if key in self._builtins:
+            raise self._error_type(
+                f"cannot unregister builtin {self._kind} {key!r}")
+        if key not in self._entries:
+            raise self._unknown(key)
+        del self._entries[key]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> F:
+        """The factory registered under ``key``.
+
+        Raises this registry's error type with every valid key listed
+        when ``key`` is unknown.
+        """
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise self._unknown(key) from None
+
+    def create(self, key: str, *args: object, **kwargs: object) -> object:
+        """Look up ``key`` and call its factory with the given args."""
+        return self.get(key)(*args, **kwargs)
+
+    def _unknown(self, key: str) -> ReproError:
+        return self._error_type(
+            f"unknown {self._kind} {key!r}; choices: {self.names()}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        """The component family this registry holds."""
+        return self._kind
+
+    def names(self) -> Tuple[str, ...]:
+        """Every registered key, in registration order."""
+        return tuple(self._entries)
+
+    def builtin_names(self) -> Tuple[str, ...]:
+        """The builtin keys, in registration order."""
+        return tuple(self._builtins)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:
+        return (f"Registry({self._kind!r}, "
+                f"{len(self._entries)} entries)")
+
+    # ------------------------------------------------------------------
+    # Cross-process shipping (parallel batch support)
+    # ------------------------------------------------------------------
+    def extras(self) -> Tuple[Tuple[str, F], ...]:
+        """Extension entries as ``(key, factory)`` pairs.
+
+        Builtins are excluded: every worker process re-creates them by
+        importing :mod:`repro.pipeline`.  The pairs are what
+        :func:`repro.sim.batch.run_batch` pickles into its workers so a
+        governor registered in the parent is selectable in the pool.
+        """
+        return tuple((key, factory)
+                     for key, factory in self._entries.items()
+                     if key not in self._builtins)
+
+    def restore(self, entries: Sequence[Tuple[str, F]]) -> None:
+        """Re-register shipped extension entries (idempotent)."""
+        for key, factory in entries:
+            if key not in self._builtins:
+                self._entries[key] = factory

@@ -28,6 +28,12 @@ regardless of worker count or completion order — the property the
 equivalence tests in ``tests/test_parallel_batch.py`` pin down and
 ``docs/performance.md`` documents.
 
+Sessions cross the process boundary as declarative
+:class:`~repro.pipeline.spec.SessionSpec` documents, and every chunk
+ships the :mod:`repro.pipeline` registries' extension entries along
+(:func:`_registry_plugins`), so a governor/app/panel registered in the
+parent process is selectable inside spawned workers too.
+
 Resilience
 ----------
 One misbehaving session must never take down a 30-app × multi-seed
@@ -56,13 +62,38 @@ import pathlib
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.export import session_summary_dict
 from ..errors import ConfigurationError, WorkerCrashError
+from ..pipeline.apps import APPS
+from ..pipeline.governors import GOVERNORS
+from ..pipeline.panels import PANELS
+from ..pipeline.spec import SessionSpec
 from ..telemetry.events import interleave_streams
 from ..telemetry.metrics import MetricsRegistry
 from .session import SessionConfig, run_session
+
+#: What one batch item looks like on the wire: ``(input slot, spec
+#: document | config object)``.  Specs are the normal form (see
+#: :func:`_encode_item`); the config object is the fallback for
+#: configs the spec codec cannot express losslessly.
+BatchItem = Tuple[int, Union[Dict, SessionConfig]]
+
+#: Registry extension entries shipped alongside every pooled chunk:
+#: ``(registry kind, ((key, factory), ...))`` pairs.  Spawned workers
+#: hold only the builtin registrations; restoring these is what makes
+#: a governor (or app, or panel) registered in the parent process
+#: selectable inside the pool.  Factories cross the boundary by
+#: pickle-by-reference, hence the module-level-factory rule in
+#: :mod:`repro.pipeline.registry`.
+PluginEntries = Tuple[Tuple[str, Tuple], ...]
+
+_PLUGIN_REGISTRIES = {
+    "governors": GOVERNORS,
+    "apps": APPS,
+    "panels": PANELS,
+}
 
 #: ``on_error`` modes of :func:`run_batch`.
 ON_ERROR_CHOICES = ("record", "raise")
@@ -104,7 +135,8 @@ def run_session_summary(config: SessionConfig) -> Dict:
 # Failure records
 # ----------------------------------------------------------------------
 
-def make_failure_record(index: int, config: SessionConfig,
+def make_failure_record(index: int,
+                        config: Union[Dict, "SessionConfig"],
                         error: BaseException,
                         attempts: int) -> Dict:
     """Structured description of one failed session.
@@ -114,17 +146,14 @@ def make_failure_record(index: int, config: SessionConfig,
     ``duration_s``), the error (``error_type``, ``error_message``,
     ``context`` — the structured :class:`~repro.errors.ReproError`
     context when available), and ``attempts`` (runs consumed including
-    retries).
+    retries).  ``config`` may be a live config or its wire-form spec
+    document (a session whose spec fails to decode in a worker never
+    becomes a config, but still deserves an identifiable record).
     """
-    app = config.app if isinstance(config.app, str) else \
-        getattr(config.app, "name", repr(config.app))
     return {
         "batch_failed": True,
         "config_index": index,
-        "app": app,
-        "governor": config.governor,
-        "seed": config.seed,
-        "duration_s": config.duration_s,
+        **_payload_identity(config),
         "error_type": type(error).__name__,
         "error_message": str(error),
         "context": dict(getattr(error, "context", None) or {}),
@@ -237,6 +266,68 @@ def format_batch_failures(results: Sequence[Dict]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Spec encoding and registry shipping (the pool wire format)
+# ----------------------------------------------------------------------
+
+def _registry_plugins() -> PluginEntries:
+    """Every registry's extension entries, ready to ship to workers."""
+    return tuple((kind, registry.extras())
+                 for kind, registry in _PLUGIN_REGISTRIES.items()
+                 if registry.extras())
+
+
+def _install_plugins(plugins: PluginEntries) -> None:
+    """Worker side: restore shipped registry extensions (idempotent)."""
+    for kind, entries in plugins:
+        _PLUGIN_REGISTRIES[kind].restore(entries)
+
+
+def _encode_item(index: int, config: SessionConfig) -> BatchItem:
+    """One config in wire form: its declarative spec document.
+
+    Sessions cross the process boundary as
+    :class:`~repro.pipeline.spec.SessionSpec` JSON dicts — the same
+    document a user could write by hand — decoded back to a config
+    inside the worker (*after* registry extensions are restored, so
+    extension governors validate there).  A config the codec cannot
+    round-trip losslessly ships as the pickled object itself, keeping
+    the pool correct for exotic configs.
+    """
+    try:
+        document = SessionSpec.from_config(config).to_json_dict()
+        if SessionSpec.from_json_dict(document).to_config() == config:
+            return index, document
+    except Exception:  # noqa: BLE001 - fall back to the object form
+        pass
+    return index, config
+
+
+def _decode_item(payload: Union[Dict, SessionConfig]) -> SessionConfig:
+    """Worker side: a wire payload back to a runnable config."""
+    if isinstance(payload, SessionConfig):
+        return payload
+    return SessionSpec.from_json_dict(payload).to_config()
+
+
+def _payload_identity(payload: Union[Dict, SessionConfig]) -> Dict:
+    """Config identity fields for a failure record, without assuming
+    the payload decodes (a spec with a bad governor never becomes a
+    config)."""
+    if isinstance(payload, SessionConfig):
+        app = payload.app if isinstance(payload.app, str) else \
+            getattr(payload.app, "name", repr(payload.app))
+        return {"app": app, "governor": payload.governor,
+                "seed": payload.seed, "duration_s": payload.duration_s}
+    app = payload.get("app", "?")
+    if isinstance(app, dict):
+        app = app.get("name", "?")
+    return {"app": app,
+            "governor": payload.get("governor", "section+boost"),
+            "seed": payload.get("seed", 0),
+            "duration_s": payload.get("duration_s", 60.0)}
+
+
+# ----------------------------------------------------------------------
 # Isolated execution (pool workers — all module-level, picklable)
 # ----------------------------------------------------------------------
 
@@ -269,17 +360,27 @@ def _session_payload(config: SessionConfig, capture: bool) -> Dict:
     return {"entry": _summarize(result), "events": events}
 
 
-def _attempt(index: int, config: SessionConfig, retries: int,
-             strict: bool, capture: bool) -> Dict:
-    """Run one config with retry/isolation semantics, inside a worker.
+def _attempt(index: int, payload: Union[Dict, SessionConfig],
+             retries: int, strict: bool, capture: bool) -> Dict:
+    """Run one batch item with retry/isolation semantics, in a worker.
 
-    Returns a payload (``entry`` + ``events``); in non-strict mode it
-    never raises — a session that fails every attempt yields a failure
-    record instead.  A deterministic simulation fails identically on
-    every attempt, so retries mainly cover sessions made flaky by their
-    environment (pool pressure, memory) — but they are honoured
-    uniformly so callers get one knob.
+    ``payload`` is a wire-form item (spec document or config object);
+    a spec that fails to decode yields a failure record like any other
+    session error.  Returns a payload (``entry`` + ``events``); in
+    non-strict mode it never raises — a session that fails every
+    attempt yields a failure record instead.  A deterministic
+    simulation fails identically on every attempt, so retries mainly
+    cover sessions made flaky by their environment (pool pressure,
+    memory) — but they are honoured uniformly so callers get one knob.
     """
+    try:
+        config = _decode_item(payload)
+    except Exception as exc:  # noqa: BLE001 - isolation boundary
+        if strict:
+            raise
+        return {"entry": make_failure_record(index, payload, exc,
+                                             attempts=1),
+                "events": []}
     error: Optional[BaseException] = None
     attempts = 0
     for attempts in range(1, retries + 2):
@@ -294,11 +395,14 @@ def _attempt(index: int, config: SessionConfig, retries: int,
             "events": []}
 
 
-def _run_chunk(items: Sequence[Tuple[int, SessionConfig]],
-               retries: int, strict: bool, capture: bool) -> List[Dict]:
-    """Pool worker: run one chunk of ``(index, config)`` pairs."""
-    return [_attempt(index, config, retries, strict, capture)
-            for index, config in items]
+def _run_chunk(items: Sequence[BatchItem],
+               retries: int, strict: bool, capture: bool,
+               plugins: PluginEntries = ()) -> List[Dict]:
+    """Pool worker: restore registry extensions, run one chunk of
+    ``(index, spec-or-config)`` items."""
+    _install_plugins(plugins)
+    return [_attempt(index, payload, retries, strict, capture)
+            for index, payload in items]
 
 
 def _pool_probe() -> bool:
@@ -471,11 +575,15 @@ def _run_pooled(indexed: List[Tuple[int, SessionConfig]],
         # isolation (and identical bytes).
         return _run_serial(indexed, retries, strict, capture, note)
 
+    plugins = _registry_plugins()
     slots: List[Optional[Dict]] = [None] * total
     clean = False
     try:
-        futures = [executor.submit(_run_chunk, chunk, retries, strict,
-                                   capture)
+        futures = [executor.submit(
+                       _run_chunk,
+                       [_encode_item(index, config)
+                        for index, config in chunk],
+                       retries, strict, capture, plugins)
                    for chunk in chunks]
         broken = False
         timed_out = False
@@ -483,7 +591,7 @@ def _run_pooled(indexed: List[Tuple[int, SessionConfig]],
         for chunk, future in zip(chunks, futures):
             if broken:
                 payloads = _salvage_chunk(chunk, retries, timeout_s,
-                                          strict, capture, ctx)
+                                          strict, capture, ctx, plugins)
             else:
                 try:
                     payloads = future.result(timeout_s)
@@ -494,7 +602,8 @@ def _run_pooled(indexed: List[Tuple[int, SessionConfig]],
                 except BrokenProcessPool:
                     broken = True
                     payloads = _salvage_chunk(chunk, retries, timeout_s,
-                                              strict, capture, ctx)
+                                              strict, capture, ctx,
+                                              plugins)
             for (index, _), payload in zip(chunk, payloads):
                 slots[index] = payload
                 done += 1
@@ -534,7 +643,8 @@ def _timeout_payload(item: Tuple[int, SessionConfig],
 
 def _salvage_chunk(chunk: Sequence[Tuple[int, SessionConfig]],
                    retries: int, timeout_s: Optional[float],
-                   strict: bool, capture: bool, ctx) -> List[Dict]:
+                   strict: bool, capture: bool, ctx,
+                   plugins: PluginEntries = ()) -> List[Dict]:
     """Re-run a chunk after the shared pool broke.
 
     Each config gets its own fresh single-worker pool: innocent
@@ -548,8 +658,9 @@ def _salvage_chunk(chunk: Sequence[Tuple[int, SessionConfig]],
         rescue = ProcessPoolExecutor(max_workers=1, mp_context=ctx)
         crashed = False
         try:
-            future = rescue.submit(_run_chunk, [(index, config)],
-                                   retries, strict, capture)
+            future = rescue.submit(_run_chunk,
+                                   [_encode_item(index, config)],
+                                   retries, strict, capture, plugins)
             try:
                 payloads.append(future.result(timeout_s)[0])
             except FuturesTimeoutError:

@@ -36,7 +36,8 @@ from ..inputs.monkey import MonkeyConfig, MonkeyScriptGenerator
 from ..inputs.touch import TouchEvent, TouchScript, merge_scripts
 from ..power.model import PowerModel, PowerReport
 from ..sim.engine import Simulator
-from ..sim.session import GOVERNOR_CHOICES, build_policy
+from ..pipeline.governors import GOVERNOR_ORACLE, GOVERNORS
+from ..sim.session import build_policy
 from ..sim.tracing import EventLog
 from ..core.governor import GovernorDriver
 from ..units import ensure_positive, ensure_positive_int
@@ -78,11 +79,11 @@ class ScenarioConfig:
                                      "segment")
         ensure_positive_int(self.resolution_divisor,
                             "resolution_divisor")
-        if self.governor not in GOVERNOR_CHOICES:
+        if self.governor not in GOVERNORS:
             raise ConfigurationError(
                 f"unknown governor {self.governor!r}; "
-                f"choices: {GOVERNOR_CHOICES}")
-        if self.governor == "oracle":
+                f"choices: {GOVERNORS.names()}")
+        if self.governor == GOVERNOR_ORACLE:
             raise ConfigurationError(
                 "the oracle governor is bound to a single application; "
                 "use per-app sessions for oracle comparisons")
@@ -283,8 +284,8 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     panel.add_vsync_listener(compositor.on_vsync)
 
     # --- Touch wiring: route to the active app + the governor ---
-    from ..sim.session import _make_governor_touch_adapter
-    governor_touch = _make_governor_touch_adapter(sim, driver, policy)
+    from ..pipeline.builder import make_governor_touch_adapter
+    governor_touch = make_governor_touch_adapter(sim, driver, policy)
 
     def deliver_touch(event: TouchEvent) -> None:
         if active["index"] is not None:

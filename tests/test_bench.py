@@ -14,9 +14,9 @@ from repro.bench import (
 )
 from repro.errors import ConfigurationError
 
-METRICS = ("meter_compare_9k_s", "native_session_s",
-           "batch32_workers1_s", "batch32_workersN_s",
-           "batch32_speedup_x")
+METRICS = ("meter_compare_9k_s", "spec_roundtrip_s",
+           "native_session_s", "batch32_workers1_s",
+           "batch32_workersN_s", "batch32_speedup_x")
 
 
 def _document(fast=False, **values):

@@ -15,7 +15,8 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 class TestDocsExist:
     @pytest.mark.parametrize("name", ["methodology.md",
                                       "calibration.md",
-                                      "api_tour.md"])
+                                      "api_tour.md",
+                                      "architecture.md"])
     def test_doc_present_and_substantial(self, name):
         path = REPO_ROOT / "docs" / name
         assert path.stat().st_size > 1500, name
