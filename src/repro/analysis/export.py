@@ -9,12 +9,33 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 import pathlib
 from typing import Union
 
 from ..errors import ConfigurationError
 
 PathLike = Union[str, pathlib.Path]
+
+
+def json_sanitize(value):
+    """``value`` with every non-finite float replaced by ``None``.
+
+    ``json.dumps`` happily emits bare ``Infinity``/``NaN`` tokens,
+    which are not JSON and break strict parsers downstream.  Metrics
+    can legitimately be non-finite (e.g.
+    :attr:`~repro.core.quality.QualityReport.metering_error` when the
+    display showed no content at all), so every export path runs its
+    document through this before serializing with ``allow_nan=False``.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: json_sanitize(item)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_sanitize(item) for item in value]
+    return value
 
 
 def session_summary_dict(result) -> dict:
@@ -43,6 +64,7 @@ def session_summary_dict(result) -> dict:
         "redundant_rate_fps": result.mean_redundant_rate_fps,
         "display_quality": quality.display_quality,
         "dropped_fps": quality.dropped_fps,
+        "metering_error": quality.metering_error,
         "touches": len(result.touch_script),
         "faults": result.fault_summary_dict(),
     }
@@ -53,9 +75,15 @@ def session_summary_dict(result) -> dict:
 
 
 def write_session_json(result, path: PathLike) -> pathlib.Path:
-    """Write the session summary as JSON; returns the path."""
+    """Write the session summary as strict JSON; returns the path.
+
+    Non-finite metrics serialize as ``null`` (see
+    :func:`json_sanitize`); ``allow_nan=False`` guarantees the output
+    never contains the non-standard ``Infinity``/``NaN`` tokens.
+    """
     path = pathlib.Path(path)
-    path.write_text(json.dumps(session_summary_dict(result), indent=2)
+    document = json_sanitize(session_summary_dict(result))
+    path.write_text(json.dumps(document, indent=2, allow_nan=False)
                     + "\n")
     return path
 

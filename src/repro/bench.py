@@ -155,6 +155,35 @@ def _time_spec_roundtrip(repeats: int) -> float:
     return float(np.min(timings))
 
 
+def _time_trace_replay(duration_s: float, best_of: int) -> float:
+    """Best wall seconds of one trace-replay session.
+
+    Records a default-resolution session once (recording cost is not
+    the metric), then times replaying it under the recorded governor —
+    the decode + dirty-rect patch + simulation path the trace
+    subsystem adds.  Best-of minimum, same rationale as the other wall
+    timings.
+    """
+    import tempfile
+
+    from .traces import record_session, replay_config
+
+    config = SessionConfig(app="Facebook", governor="section+boost",
+                           duration_s=duration_s, seed=1)
+    _, trace = record_session(config)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "bench.rptrace"
+        trace.save(path)
+        replay = replay_config(path)
+        run_session(replay)  # warm-up
+        timings = []
+        for _ in range(best_of):
+            t0 = time.perf_counter()
+            run_session(replay)
+            timings.append(time.perf_counter() - t0)
+    return min(timings)
+
+
 def run_bench(workers: Optional[int] = None,
               fast: bool = False) -> Dict:
     """Run every workload; returns the bench document (see schema).
@@ -182,6 +211,7 @@ def run_bench(workers: Optional[int] = None,
     meter_s = _time_meter_compare(repeats)
     spec_s = _time_spec_roundtrip(repeats)
     native_s = _time_native_session(session_s, best_of=3)
+    replay_s = _time_trace_replay(session_s, best_of=3)
     configs = _batch_configs(sessions, batch_session_s)
     serial_s = _time_batch(configs, workers=1, best_of=best_of)
     parallel_s = _time_batch(configs, workers=workers,
@@ -200,6 +230,7 @@ def run_bench(workers: Optional[int] = None,
             "meter_compare_9k_s": _metric(meter_s, "s"),
             "spec_roundtrip_s": _metric(spec_s, "s"),
             "native_session_s": _metric(native_s, "s"),
+            "trace_replay_s": _metric(replay_s, "s"),
             "batch32_workers1_s": _metric(serial_s, "s"),
             "batch32_workersN_s": _metric(parallel_s, "s"),
             "batch32_speedup_x": _metric(speedup, "x",
@@ -295,8 +326,27 @@ def format_bench(bench: Dict,
 
 
 def load_bench(path) -> Dict:
-    """Read one bench JSON document."""
-    return json.loads(pathlib.Path(path).read_text())
+    """Read one bench JSON document.
+
+    Unreadable or malformed baselines raise
+    :class:`~repro.errors.ConfigurationError` so the CLI reports a
+    one-line error instead of a traceback.
+    """
+    try:
+        text = pathlib.Path(path).read_text()
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read bench baseline {path}: {exc}") from None
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"bench baseline {path} is not valid JSON: {exc}") from None
+    if not isinstance(document, dict):
+        raise ConfigurationError(
+            f"bench baseline {path} must be a JSON object, "
+            f"got {type(document).__name__}")
+    return document
 
 
 def write_bench(bench: Dict, path=None) -> pathlib.Path:

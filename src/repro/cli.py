@@ -12,6 +12,10 @@ Everything the examples do, scriptable::
     python -m repro compare --app Facebook --workers 4
     python -m repro experiment fig6           # regenerate a paper figure
     python -m repro bench --json              # performance harness
+    python -m repro trace record --app Facebook --out fb.rptrace
+    python -m repro trace replay fb.rptrace --governor section
+    python -m repro trace info fb.rptrace     # codec + content stats
+    python -m repro trace gen --kind idle --out idle.rptrace
 
 All output is plain text; every command is deterministic for a given
 ``--seed``.
@@ -33,7 +37,7 @@ from .apps.catalog import all_app_names, app_profile
 from .core.quality import quality_vs_baseline
 from .core.section_table import SectionTable
 from .display.presets import panel_preset, panel_preset_names
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
 from .experiments.registry import EXPERIMENTS, experiment
 from .pipeline import (
     GOVERNOR_ORACLE,
@@ -43,6 +47,7 @@ from .pipeline import (
 from .sim.session import SessionConfig, run_session
 from .telemetry.hub import TelemetryConfig
 from .telemetry.stats import format_stats, summarize_jsonl
+from .traces import SYNTH_KINDS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,6 +162,51 @@ def build_parser() -> argparse.ArgumentParser:
                               "baselines)")
     p_bench.set_defaults(func=cmd_bench)
 
+    p_trace = sub.add_parser(
+        "trace", help="record, replay, and inspect binary frame "
+                      "traces (repro-trace/1)")
+    trace_sub = p_trace.add_subparsers(dest="trace_command",
+                                       required=True)
+
+    p_rec = trace_sub.add_parser(
+        "record", help="run a session and record its framebuffer "
+                       "into a trace file")
+    _add_session_args(p_rec)
+    p_rec.add_argument("--governor", default="section+boost",
+                       choices=governor_names())
+    p_rec.add_argument("--out", required=True, metavar="PATH",
+                       help="trace file to write (.rptrace)")
+    p_rec.set_defaults(func=cmd_trace_record)
+
+    p_play = trace_sub.add_parser(
+        "replay", help="replay a trace as a first-class session "
+                       "(byte-identical under the recorded governor)")
+    p_play.add_argument("trace", help="trace file to replay")
+    p_play.add_argument("--governor", default=None,
+                        choices=governor_names(),
+                        help="override the recorded governor")
+    p_play.add_argument("--summary-json", default=None, metavar="PATH",
+                        help="write the session summary as JSON "
+                             "('-' for stdout)")
+    p_play.set_defaults(func=cmd_trace_replay)
+
+    p_info = trace_sub.add_parser(
+        "info", help="print a trace's header, codec, and content "
+                     "statistics")
+    p_info.add_argument("trace", help="trace file to inspect")
+    p_info.set_defaults(func=cmd_trace_info)
+
+    p_gen = trace_sub.add_parser(
+        "gen", help="generate a synthetic trace (video/scroll/idle)")
+    p_gen.add_argument("--kind", required=True,
+                       choices=list(SYNTH_KINDS))
+    p_gen.add_argument("--duration", type=float, default=10.0,
+                       help="trace length in seconds")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True, metavar="PATH",
+                       help="trace file to write (.rptrace)")
+    p_gen.set_defaults(func=cmd_trace_gen)
+
     return parser
 
 
@@ -222,7 +272,12 @@ def cmd_apps(args: argparse.Namespace) -> int:
 
 def cmd_table(args: argparse.Namespace) -> int:
     if args.rates:
-        rates = [float(r) for r in args.rates.split(",")]
+        try:
+            rates = [float(r) for r in args.rates.split(",")]
+        except ValueError:
+            raise ConfigurationError(
+                f"--rates must be a comma-separated list of numbers, "
+                f"got {args.rates!r}") from None
         table = SectionTable.from_rates(rates)
         source = f"custom rates {rates}"
     else:
@@ -406,8 +461,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     from .bench import (
         format_bench, load_bench, main_check, run_bench, write_bench)
-    bench = run_bench(workers=args.workers, fast=args.fast)
+    # Load the baseline *before* the (slow) bench run so a missing or
+    # malformed baseline fails fast.
     baseline = load_bench(args.check) if args.check else None
+    bench = run_bench(workers=args.workers, fast=args.fast)
     if args.json:
         print(json.dumps(bench, indent=2, sort_keys=True))
     else:
@@ -421,6 +478,92 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_session_brief(result) -> None:
+    """The short summary every trace subcommand shares."""
+    report = result.power_report()
+    print(f"governor:       {result.governor_name}")
+    print(f"mean power:     {report.mean_power_mw:.1f} mW")
+    print(f"mean refresh:   {result.mean_refresh_rate_hz:.1f} Hz "
+          f"({result.panel.rate_switches} switches)")
+    print(f"frame rate:     {result.mean_frame_rate_fps:.1f} fps "
+          f"({result.mean_content_rate_fps:.1f} content)")
+
+
+def cmd_trace_record(args: argparse.Namespace) -> int:
+    from .traces import record_session, save_trace
+    result, trace = record_session(SessionConfig(
+        app=args.app, governor=args.governor,
+        duration_s=args.duration, seed=args.seed,
+        panel=panel_preset(args.panel),
+        faults=_resolve_faults(args),
+        telemetry=_resolve_telemetry(args)))
+    path = save_trace(trace, args.out)
+    info = trace.info_dict()
+    print(f"recorded {info['frame_count']} frames "
+          f"({info['meaningful_frames']} meaningful) over "
+          f"{trace.duration_s:g} s -> {path}")
+    print(f"encoded:        {info['encoded_frame_bytes']} B "
+          f"({100 * info['compression_ratio']:.1f}% of raw)")
+    _print_session_brief(result)
+    return 0
+
+
+def cmd_trace_replay(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    import sys
+
+    from .analysis.export import json_sanitize, session_summary_dict
+    from .traces import replay_config
+    overrides = {}
+    if args.governor is not None:
+        overrides["governor"] = args.governor
+    result = run_session(replay_config(args.trace, **overrides))
+    _print_session_brief(result)
+    if args.summary_json is not None:
+        text = json.dumps(json_sanitize(session_summary_dict(result)),
+                          indent=2, sort_keys=True,
+                          allow_nan=False) + "\n"
+        if args.summary_json == "-":
+            sys.stdout.write(text)
+        else:
+            pathlib.Path(args.summary_json).write_text(text)
+            print(f"wrote {args.summary_json}")
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    from .traces import load_trace
+    info = load_trace(args.trace).info_dict()
+    print(f"schema:         {info['schema']}")
+    print(f"geometry:       {info['width']}x{info['height']} "
+          f"(duration {info['duration_s']:g} s)")
+    print(f"frames:         {info['frame_count']} "
+          f"({info['meaningful_frames']} meaningful, "
+          f"{info['redundant_frames']} redundant)")
+    print(f"raw bytes:      {info['raw_frame_bytes']}")
+    print(f"encoded bytes:  {info['encoded_frame_bytes']} "
+          f"({100 * info['compression_ratio']:.1f}% of raw)")
+    for name, count in sorted(info["aux_channels"].items()):
+        print(f"aux:            {name} ({count} samples)")
+    origin = info["meta"].get("origin", "unknown")
+    print(f"origin:         {origin}")
+    return 0
+
+
+def cmd_trace_gen(args: argparse.Namespace) -> int:
+    from .traces import save_trace, synthetic_trace
+    trace = synthetic_trace(args.kind, duration_s=args.duration,
+                            seed=args.seed)
+    path = save_trace(trace, args.out)
+    info = trace.info_dict()
+    print(f"generated {args.kind} trace: {info['frame_count']} frames "
+          f"over {trace.duration_s:g} s -> {path}")
+    print(f"encoded:        {info['encoded_frame_bytes']} B "
+          f"({100 * info['compression_ratio']:.1f}% of raw)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -428,6 +571,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return args.func(args)
     except ReproError as exc:
+        parser.exit(2, f"error: {exc}\n")
+        return 2  # pragma: no cover - parser.exit raises
+    except OSError as exc:
         parser.exit(2, f"error: {exc}\n")
         return 2  # pragma: no cover - parser.exit raises
 

@@ -78,6 +78,13 @@ class TelemetryError(ReproError):
     summarizing an unparseable JSONL stream)."""
 
 
+class TraceError(ReproError):
+    """A frame-trace file is unreadable or malformed (bad magic,
+    unsupported version, truncated record, inconsistent payload), or
+    the trace subsystem was misused (non-monotonic frame times,
+    geometry mismatch against the recording framebuffer)."""
+
+
 class WorkerCrashError(ReproError):
     """A batch worker process died without returning a result (killed,
     segfaulted, or exited hard).  Raised — or recorded as a failure

@@ -27,11 +27,12 @@ from ..apps.catalog import all_app_names, app_profile
 from ..apps.profile import AppProfile
 from ..apps.wallpaper import WallpaperProfile, nexus_revamped
 from ..errors import WorkloadError
+from ..traces.profile import TRACE_APP_PREFIX, TraceProfile
 from .registry import Registry
 
-#: What an app factory may produce (wallpapers adapt via
-#: :meth:`~repro.apps.wallpaper.WallpaperProfile.as_app_profile`).
-WorkloadProfile = Union[AppProfile, WallpaperProfile]
+#: What an app factory may produce (wallpapers and trace profiles
+#: adapt via their ``as_app_profile`` methods).
+WorkloadProfile = Union[AppProfile, WallpaperProfile, TraceProfile]
 
 #: Factory signature every entry in :data:`APPS` satisfies.
 AppFactory = Callable[[], WorkloadProfile]
@@ -55,23 +56,32 @@ del _name
 
 
 def resolve_workload(
-        app: Union[str, AppProfile, WallpaperProfile]) -> WorkloadProfile:
+        app: Union[str, WorkloadProfile]) -> WorkloadProfile:
     """The profile object behind a session's ``app`` field.
 
-    Strings go through the registry; profile objects pass through
-    unchanged.  A :class:`WallpaperProfile` result means the session
-    should run a :class:`~repro.apps.wallpaper.LiveWallpaper`.
+    Strings go through the registry — except the ``"trace:<path>"``
+    scheme, which names a recorded frame-trace file directly (no
+    registration needed; the string form survives every spec and
+    batch-wire boundary unchanged).  Profile objects pass through.  A
+    :class:`WallpaperProfile` result means the session should run a
+    :class:`~repro.apps.wallpaper.LiveWallpaper`; a
+    :class:`~repro.traces.profile.TraceProfile` result means it should
+    replay the trace through a
+    :class:`~repro.traces.source.TraceFrameSource`.
     """
     if isinstance(app, str):
+        if app.startswith(TRACE_APP_PREFIX):
+            return TraceProfile(app[len(TRACE_APP_PREFIX):])
         return APPS.get(app)()
     return app
 
 
 def resolve_app_profile(
-        app: Union[str, AppProfile, WallpaperProfile]) -> AppProfile:
+        app: Union[str, WorkloadProfile]) -> AppProfile:
     """Like :func:`resolve_workload`, flattened to an
-    :class:`~repro.apps.profile.AppProfile` (wallpapers adapted)."""
+    :class:`~repro.apps.profile.AppProfile` (wallpapers and traces
+    adapted)."""
     workload = resolve_workload(app)
-    if isinstance(workload, WallpaperProfile):
-        return workload.as_app_profile()
-    return workload
+    if isinstance(workload, AppProfile):
+        return workload
+    return workload.as_app_profile()

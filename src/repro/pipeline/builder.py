@@ -54,6 +54,9 @@ from ..sim.engine import Simulator
 from ..sim.tracing import EventLog
 from ..telemetry.events import EVENT_SESSION_END, EVENT_SESSION_START
 from ..telemetry.hub import TelemetryHub, build_hub
+from ..traces.profile import TraceProfile
+from ..traces.source import TraceFrameSource
+from .apps import resolve_workload
 from .governors import GovernorContext, build_governor
 from .spec import SessionSpec
 
@@ -95,7 +98,7 @@ class SessionBuilder:
         self.driver: Optional[GovernorDriver] = None
         self.touch_script: Optional[TouchScript] = None
         self.touch_source: Optional[TouchSource] = None
-        self._stages_done = 0
+        self._completed_stages: Dict[str, bool] = {}
 
     @classmethod
     def from_spec(
@@ -125,6 +128,7 @@ class SessionBuilder:
                                 governor=config.governor,
                                 seed=config.seed,
                                 duration_s=config.duration_s)
+        self._completed_stages["build_telemetry"] = True
         return self
 
     def build_injector(self) -> "SessionBuilder":
@@ -133,6 +137,7 @@ class SessionBuilder:
         self.injector = (
             FaultInjector(config.faults, telemetry=self.telemetry)
             if config.faults is not None else None)
+        self._completed_stages["build_injector"] = True
         return self
 
     def build_display(self) -> "SessionBuilder":
@@ -146,6 +151,7 @@ class SessionBuilder:
         self.panel = DisplayPanel(self.sim, spec,
                                   injector=self.injector,
                                   telemetry=self.telemetry)
+        self._completed_stages["build_display"] = True
         return self
 
     def build_meter(self) -> "SessionBuilder":
@@ -154,6 +160,7 @@ class SessionBuilder:
             self._need(self.framebuffer, "framebuffer"),
             self.config.meter, injector=self.injector,
             telemetry=self.telemetry)
+        self._completed_stages["build_meter"] = True
         return self
 
     def build_tracker(self) -> "SessionBuilder":
@@ -161,6 +168,7 @@ class SessionBuilder:
         if self.config.track_oled:
             self.oled_tracker = OledEmissionTracker(
                 self._need(self.framebuffer, "framebuffer"), OledModel())
+        self._completed_stages["build_tracker"] = True
         return self
 
     def build_application(self) -> "SessionBuilder":
@@ -176,9 +184,23 @@ class SessionBuilder:
                           name=self.profile.name)
         compositor.register_surface(surface)
         app_seed = config.seed * 1_000_003 + 1
+        workload = resolve_workload(config.app)
         if isinstance(config.app, WallpaperProfile):
             self.application = LiveWallpaper(
                 config.app, self.sim, compositor, surface, seed=app_seed)
+        elif isinstance(workload, TraceProfile):
+            trace = workload.load()
+            if (trace.width, trace.height) != (framebuffer.width,
+                                               framebuffer.height):
+                raise ConfigurationError(
+                    f"trace {workload.path} was recorded at "
+                    f"{trace.width}x{trace.height} but this session's "
+                    f"framebuffer is {framebuffer.width}x"
+                    f"{framebuffer.height}; replay with the panel and "
+                    f"resolution_divisor the trace was recorded at")
+            self.application = TraceFrameSource(
+                trace, self.profile, self.sim, compositor, surface,
+                seed=app_seed)
         else:
             self.application = Application(
                 self.profile, self.sim, compositor, surface,
@@ -191,6 +213,7 @@ class SessionBuilder:
             self.status_bar_app = Application(
                 status_bar_profile(), self.sim, compositor, bar_surface,
                 seed=app_seed + 17)
+        self._completed_stages["build_application"] = True
         return self
 
     def build_logs(self) -> "SessionBuilder":
@@ -214,6 +237,7 @@ class SessionBuilder:
         panel.add_vsync_listener(compositor.on_vsync)
         self.compositions = compositions
         self.meaningful_compositions = meaningful
+        self._completed_stages["build_logs"] = True
         return self
 
     def build_governor(self) -> "SessionBuilder":
@@ -238,6 +262,7 @@ class SessionBuilder:
         self.driver = GovernorDriver(self.sim, panel, driven_policy,
                                      config.decision_period_s,
                                      telemetry=self.telemetry)
+        self._completed_stages["build_governor"] = True
         return self
 
     def build_input(self) -> "SessionBuilder":
@@ -257,6 +282,7 @@ class SessionBuilder:
             self._need(self.policy, "policy")))
         self.touch_script = script
         self.touch_source = source
+        self._completed_stages["build_input"] = True
         return self
 
     _STAGES = ("build_telemetry", "build_injector", "build_display",
@@ -264,10 +290,16 @@ class SessionBuilder:
                "build_logs", "build_governor", "build_input")
 
     def assemble(self) -> "SessionBuilder":
-        """Run every stage not yet run, in order."""
-        for stage in self._STAGES[self._stages_done:]:
-            getattr(self, stage)()
-        self._stages_done = len(self._STAGES)
+        """Run every stage not yet run, in order.
+
+        Stages invoked manually are skipped here — a caller can run a
+        prefix (say, through :meth:`build_display` to tap the
+        framebuffer), customize, and let :meth:`assemble` finish the
+        rest without rebuilding what already exists.
+        """
+        for stage in self._STAGES:
+            if not self._completed_stages.get(stage):
+                getattr(self, stage)()
         return self
 
     # ------------------------------------------------------------------

@@ -41,6 +41,7 @@ from ..errors import SpecError
 from ..faults.plan import FaultPlan
 from ..inputs.monkey import MonkeyConfig
 from ..telemetry.hub import TelemetryConfig
+from ..traces.profile import TraceProfile
 from .panels import PANELS, panel_key_for
 
 #: Schema tag embedded in every serialized spec document.
@@ -49,6 +50,7 @@ SPEC_SCHEMA = "repro-session/1"
 #: Discriminator values for the ``app`` field's inline-object form.
 APP_TYPE_PROFILE = "profile"
 APP_TYPE_WALLPAPER = "wallpaper"
+APP_TYPE_TRACE = "trace"
 
 D = TypeVar("D")
 
@@ -132,18 +134,20 @@ def decode_dataclass(cls: Type[D], data: Any, where: str) -> D:
 # App / panel field codecs (registry key or inline object)
 # ----------------------------------------------------------------------
 def _encode_app(
-        app: Union[str, AppProfile, WallpaperProfile]
+        app: Union[str, AppProfile, WallpaperProfile, TraceProfile]
 ) -> Union[str, Dict[str, Any]]:
     if isinstance(app, str):
         return app
     if isinstance(app, WallpaperProfile):
         return {"type": APP_TYPE_WALLPAPER, **encode_dataclass(app)}
+    if isinstance(app, TraceProfile):
+        return {"type": APP_TYPE_TRACE, **encode_dataclass(app)}
     return {"type": APP_TYPE_PROFILE, **encode_dataclass(app)}
 
 
 def _decode_app(
         value: Union[str, Mapping[str, Any]]
-) -> Union[str, AppProfile, WallpaperProfile]:
+) -> Union[str, AppProfile, WallpaperProfile, TraceProfile]:
     if isinstance(value, str):
         return value
     if not isinstance(value, Mapping):
@@ -155,9 +159,12 @@ def _decode_app(
         return decode_dataclass(WallpaperProfile, fields, "app")
     if app_type == APP_TYPE_PROFILE:
         return decode_dataclass(AppProfile, fields, "app")
+    if app_type == APP_TYPE_TRACE:
+        return decode_dataclass(TraceProfile, fields, "app")
     raise SpecError(
-        f"app object needs 'type' of {APP_TYPE_PROFILE!r} or "
-        f"{APP_TYPE_WALLPAPER!r}, got {app_type!r}")
+        f"app object needs 'type' of {APP_TYPE_PROFILE!r}, "
+        f"{APP_TYPE_WALLPAPER!r} or {APP_TYPE_TRACE!r}, "
+        f"got {app_type!r}")
 
 
 def _encode_panel(panel: PanelSpec) -> Union[str, Dict[str, Any]]:

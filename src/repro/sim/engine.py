@@ -227,6 +227,7 @@ class PeriodicTask:
         self._name = name
         self._stopped = False
         self._ticks = 0
+        self._last_fire = sim.now
         first = period if start_delay is None else ensure_non_negative(
             start_delay, "start_delay")
         self._handle: Optional[EventHandle] = sim.call_after(
@@ -247,9 +248,30 @@ class PeriodicTask:
         """True once :meth:`stop` has been called."""
         return self._stopped
 
-    def set_period(self, period: float) -> None:
-        """Change the period; takes effect from the *next* reschedule."""
+    def set_period(self, period: float, *, retime: bool = False) -> None:
+        """Change the period.
+
+        By default the pending tick keeps its scheduled time and the
+        new period applies from the *next* reschedule — the semantics
+        every existing caller was written against (a rate change
+        commits at a tick boundary, exactly like a V-Sync-latched
+        display rate switch; see
+        :class:`repro.display.panel.DisplayPanel`).
+
+        With ``retime=True`` the pending tick is cancelled and
+        re-scheduled at ``last_fire + new_period`` (clamped to *now*),
+        so a period change takes effect immediately — shrinking the
+        period pulls the next tick earlier, growing it pushes the tick
+        later.  Use this for controllers whose reaction latency must
+        not exceed the *old* period.
+        """
         self._period = ensure_positive(period, "period")
+        if not retime or self._stopped or self._handle is None:
+            return
+        self._sim.cancel(self._handle)
+        next_time = max(self._sim.now, self._last_fire + self._period)
+        self._handle = self._sim.call_at(next_time, self._fire,
+                                         name=self._name)
 
     def stop(self) -> None:
         """Cancel the pending tick and fire no more."""
@@ -262,6 +284,7 @@ class PeriodicTask:
         if self._stopped:
             return
         self._ticks += 1
+        self._last_fire = sim.now
         self._callback(sim)
         if not self._stopped:
             self._handle = sim.call_after(

@@ -1,0 +1,118 @@
+"""Recording: tap a session's framebuffer and capture its frame stream.
+
+:class:`TraceRecorder` hooks the same place the paper's content-rate
+meter hooks — the framebuffer's update notification — so the trace
+holds *exactly* the frame sequence the meter saw: every compositor
+write, meaningful or redundant, at its simulation timestamp.  The tap
+is read-only; a recorded session is byte-identical to an unrecorded
+one.
+
+:func:`record_session` is the one-call form: it assembles the session
+through the normal :class:`~repro.pipeline.builder.SessionBuilder`
+stages, attaches the recorder between the display stage and the meter
+stage, runs the session, and seals the trace with the provenance the
+replay path needs (the resolved app profile, the full session spec,
+and the source application's content-change/render event streams).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+from ..graphics.framebuffer import Framebuffer
+from .format import FrameTrace, TraceBuilder
+from .source import AUX_CONTENT_CHANGES, AUX_RENDERS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.session import SessionConfig, SessionResult
+
+
+class TraceRecorder:
+    """Capture every write of a framebuffer as delta-encoded records.
+
+    Attach before the session starts (the builder's display stage has
+    run, the panel has not); frames encode incrementally against one
+    previous-frame copy, so memory stays at the *encoded* trace size
+    plus a single frame.
+    """
+
+    def __init__(self, framebuffer: Framebuffer) -> None:
+        self._framebuffer = framebuffer
+        self._builder = TraceBuilder(framebuffer.width,
+                                     framebuffer.height)
+        self._attached = True
+        framebuffer.add_update_listener(self._on_update)
+
+    @property
+    def frame_count(self) -> int:
+        """Frames captured so far."""
+        return self._builder.frame_count
+
+    @property
+    def attached(self) -> bool:
+        """True while the recorder is listening for writes."""
+        return self._attached
+
+    def detach(self) -> None:
+        """Stop capturing (idempotent)."""
+        if self._attached:
+            self._framebuffer.remove_update_listener(self._on_update)
+            self._attached = False
+
+    def _on_update(self, time: float, framebuffer: Framebuffer) -> None:
+        self._builder.add_frame(time, framebuffer.pixels)
+
+    def to_trace(self, duration_s: float,
+                 aux: Optional[Dict[str, np.ndarray]] = None,
+                 meta: Optional[Dict[str, Any]] = None) -> FrameTrace:
+        """Seal the capture into a :class:`FrameTrace`."""
+        return self._builder.build(duration_s, aux=aux, meta=meta)
+
+
+def trace_meta(config: "SessionConfig", origin: str) -> Dict[str, Any]:
+    """The provenance block embedded in a trace header.
+
+    Carries the resolved app profile (replay resolves to the *same*
+    profile) and the full session spec (replay reconstructs the *same*
+    config, app field aside).
+    """
+    from ..pipeline.spec import encode_dataclass
+
+    return {
+        "origin": origin,
+        "profile": encode_dataclass(config.resolve_profile()),
+        "spec": config.to_spec().to_json_dict(),
+    }
+
+
+def record_session(
+        config: "SessionConfig"
+) -> Tuple["SessionResult", FrameTrace]:
+    """Run ``config`` with a recorder attached; returns result + trace.
+
+    The recorded session itself is byte-identical to
+    :func:`~repro.sim.session.run_session` of the same config — the
+    tap only reads.
+    """
+    from ..pipeline.builder import SessionBuilder
+
+    builder = SessionBuilder(config)
+    builder.build_telemetry()
+    builder.build_injector()
+    builder.build_display()
+    framebuffer = builder.framebuffer
+    if framebuffer is None:  # pragma: no cover - builder guarantees it
+        raise TraceError("session builder produced no framebuffer")
+    recorder = TraceRecorder(framebuffer)
+    result = builder.run()
+    recorder.detach()
+    aux = {
+        AUX_CONTENT_CHANGES: result.application.content_changes.times,
+        AUX_RENDERS: result.application.renders.times,
+    }
+    trace = recorder.to_trace(config.duration_s, aux=aux,
+                              meta=trace_meta(config, origin="session"))
+    return result, trace

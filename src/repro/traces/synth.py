@@ -1,0 +1,154 @@
+"""Synthetic traces: video / scroll / idle frame streams on demand.
+
+These generate the three canonical content classes the paper's
+analysis distinguishes, without running a session first:
+
+* ``video`` — full-frame noise at a fixed cadence (no coherence; the
+  codec's worst case, stored via the raw-payload fallback);
+* ``scroll`` — a fixed texture sliding vertically (full-frame change
+  with high run coherence);
+* ``idle`` — a static UI with a tiny clock region ticking at 1 Hz (the
+  mostly-static case where dirty-rect + RLE shine).
+
+Every generated trace embeds a representative app profile and a full
+session spec, so it replays through exactly the same path as a
+recorded one.  Generation is deterministic in ``seed``; all randomness
+is drawn at build time, never at replay time.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..apps.profile import (
+    AppCategory,
+    AppProfile,
+    ContentProcess,
+    RenderStyle,
+)
+from ..errors import TraceError
+from .format import FrameTrace, TraceBuilder
+from .source import AUX_CONTENT_CHANGES, AUX_RENDERS
+
+#: The synthetic kinds :func:`synthetic_trace` accepts.
+SYNTH_KINDS = ("video", "scroll", "idle")
+
+#: Geometry of the default replay pipeline (galaxy-s3 panel at the
+#: default ``resolution_divisor=8``): 720/8 x 1280/8.
+_DEFAULT_WIDTH = 90
+_DEFAULT_HEIGHT = 160
+
+
+def _synthetic_profile(kind: str, content_fps: float) -> AppProfile:
+    """A representative profile for a generated trace.
+
+    ``touch_events_per_s=0`` keeps replay sessions free of Monkey
+    randomness — a generated trace replays identically under any
+    numpy version (the committed golden fixture relies on this).
+    """
+    style = {"video": RenderStyle.VIDEO,
+             "scroll": RenderStyle.SCROLL,
+             "idle": RenderStyle.SMALL_REGION}[kind]
+    return AppProfile(
+        name=f"trace-{kind}",
+        category=AppCategory.GENERAL,
+        idle_content_fps=content_fps,
+        active_content_fps=content_fps,
+        content_process=ContentProcess.PERIODIC,
+        idle_submit_fps=0.0,
+        render_style=style,
+        render_cost_mj=0.5,
+        cpu_base_mw=50.0,
+        touch_events_per_s=0.0,
+        scroll_fraction=0.0,
+        notes=f"synthetic {kind} trace")
+
+
+def _synthetic_meta(kind: str, profile: AppProfile, duration_s: float,
+                    seed: int) -> dict:
+    from ..pipeline.spec import SessionSpec, encode_dataclass
+    from ..sim.session import SessionConfig
+
+    config = SessionConfig(app=profile, duration_s=duration_s,
+                           seed=seed)
+    spec = SessionSpec.from_config(config)
+    return {
+        "origin": f"synthetic:{kind}",
+        "profile": encode_dataclass(profile),
+        "spec": spec.to_json_dict(),
+    }
+
+
+def synthetic_trace(kind: str, *, duration_s: float = 10.0,
+                    seed: int = 0, width: int = _DEFAULT_WIDTH,
+                    height: int = _DEFAULT_HEIGHT) -> FrameTrace:
+    """Generate one synthetic trace (see module docstring for kinds)."""
+    if kind not in SYNTH_KINDS:
+        raise TraceError(f"unknown synthetic trace kind {kind!r}; "
+                         f"choices: {SYNTH_KINDS}")
+    if duration_s <= 0:
+        raise TraceError(
+            f"duration_s must be positive, got {duration_s}")
+    rng = np.random.default_rng([seed, SYNTH_KINDS.index(kind)])
+    builder = TraceBuilder(width, height)
+    content_times = []
+
+    if kind == "video":
+        fps = 24.0
+        period = 1.0 / fps
+        count = int(duration_s / period)
+        for index in range(1, count + 1):
+            time = index * period
+            frame = rng.integers(0, 256, (height, width, 3),
+                                 dtype=np.uint8)
+            builder.add_frame(time, frame)
+            content_times.append(time)
+    elif kind == "scroll":
+        fps = 30.0
+        period = 1.0 / fps
+        count = int(duration_s / period)
+        # A tall banded texture; each frame slides the viewport down.
+        bands = rng.integers(0, 256, (height * 3, 1, 3), dtype=np.uint8)
+        texture = np.repeat(np.repeat(bands, 4, axis=0)[:height * 3],
+                            width, axis=1)
+        step = 3
+        for index in range(1, count + 1):
+            time = index * period
+            offset = (index * step) % (texture.shape[0] - height)
+            builder.add_frame(time,
+                              texture[offset:offset + height])
+            content_times.append(time)
+    else:  # idle
+        fps = 1.0
+        background = np.full((height, width, 3), 32, dtype=np.uint8)
+        # A static "UI": a header bar and two content cards.
+        background[: height // 12] = (70, 70, 90)
+        background[height // 6: height // 2, 4: width - 4] = (55, 55, 55)
+        background[height // 2 + 4: height - 8,
+                   4: width - 4] = (48, 48, 60)
+        clock_h = max(2, height // 24)
+        clock_w = max(4, width // 6)
+        frame = background.copy()
+        count = int(duration_s / (1.0 / fps))
+        for index in range(1, count + 1):
+            time = index * 1.0
+            # The clock region redraws each second with fresh digits.
+            frame[1:1 + clock_h, width - clock_w - 1: width - 1] = (
+                rng.integers(0, 256, (clock_h, clock_w, 3),
+                             dtype=np.uint8))
+            builder.add_frame(time, frame)
+            content_times.append(time)
+
+    profile = _synthetic_profile(kind, fps)
+    times = np.asarray(content_times, dtype=np.float64)
+    aux = {AUX_CONTENT_CHANGES: times, AUX_RENDERS: times.copy()}
+    return builder.build(
+        duration_s, aux=aux,
+        meta=_synthetic_meta(kind, profile, duration_s, seed))
+
+
+def synthetic_geometry() -> Tuple[int, int]:
+    """The default generated-trace geometry ``(width, height)``."""
+    return _DEFAULT_WIDTH, _DEFAULT_HEIGHT

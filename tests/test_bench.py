@@ -15,8 +15,9 @@ from repro.bench import (
 from repro.errors import ConfigurationError
 
 METRICS = ("meter_compare_9k_s", "spec_roundtrip_s",
-           "native_session_s", "batch32_workers1_s",
-           "batch32_workersN_s", "batch32_speedup_x")
+           "native_session_s", "trace_replay_s",
+           "batch32_workers1_s", "batch32_workersN_s",
+           "batch32_speedup_x")
 
 
 def _document(fast=False, **values):

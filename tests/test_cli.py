@@ -169,3 +169,95 @@ class TestTelemetryCli:
                             "--duration", "5")
         assert code == 0
         assert "telemetry:" not in out
+
+
+class TestTraceCli:
+    def test_gen_info_replay_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "idle.rptrace")
+        code, out = run_cli(capsys, "trace", "gen", "--kind", "idle",
+                            "--duration", "5", "--out", path)
+        assert code == 0
+        assert "generated idle trace" in out
+
+        code, out = run_cli(capsys, "trace", "info", path)
+        assert code == 0
+        assert "repro-trace/1" in out
+        assert "synthetic:idle" in out
+
+        summary_path = tmp_path / "summary.json"
+        code, out = run_cli(capsys, "trace", "replay", path,
+                            "--summary-json", str(summary_path))
+        assert code == 0
+        assert "mean power:" in out
+        import json as json_module
+        summary = json_module.loads(summary_path.read_text())
+        assert summary["app"] == "trace-idle"
+
+    def test_record_then_replay(self, capsys, tmp_path):
+        path = str(tmp_path / "fb.rptrace")
+        code, out = run_cli(capsys, "trace", "record",
+                            "--app", "Facebook", "--duration", "5",
+                            "--seed", "2", "--out", path)
+        assert code == 0
+        assert "recorded" in out
+
+        code, out = run_cli(capsys, "trace", "replay", path,
+                            "--governor", "section")
+        assert code == 0
+        assert "section-based" in out
+
+    def test_info_missing_file_exits_two(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "info", str(tmp_path / "nope.rptrace")])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "nope.rptrace" in err
+
+    def test_info_corrupt_file_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "garbage.rptrace"
+        path.write_bytes(b"REPROTRC" + b"\x00" * 20)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "info", str(path)])
+        assert excinfo.value.code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_replay_unknown_governor_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "replay", "x.rptrace",
+                 "--governor", "psychic"])
+
+    def test_gen_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "gen", "--kind", "fire", "--out", "x"])
+
+
+class TestErrorPaths:
+    def test_non_numeric_rates_exit_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table", "--rates", "30,abc"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "comma-separated" in err
+
+    def test_bench_missing_baseline_exits_two(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--fast", "--workers", "1",
+                  "--check", str(tmp_path / "absent.json")])
+        assert excinfo.value.code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_bench_malformed_baseline_exits_two(self, capsys,
+                                                tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--fast", "--workers", "1",
+                  "--check", str(path)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not valid JSON" in err

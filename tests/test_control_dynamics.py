@@ -157,3 +157,58 @@ class TestWindowDynamics:
         assert meter.content_rate(5.5) == pytest.approx(20.0, abs=3.0)
         # A full window after: the true rate.
         assert meter.content_rate(6.5) == pytest.approx(40.0, abs=3.0)
+
+
+class TestVsyncLatchedRateSwitch:
+    """The panel's V-Sync cadence around a mid-frame rate switch.
+
+    Audit note: :class:`~repro.display.panel.DisplayPanel` deliberately
+    does *not* use :class:`~repro.sim.engine.PeriodicTask` — it owns a
+    cancel-free reschedule-at-fire loop where a mid-frame
+    ``set_refresh_rate`` only marks a pending rate.  The pending V-Sync
+    keeps its scheduled time (the panel cannot abandon a scan-out in
+    progress) and the *next* interval runs at the new rate.  This test
+    pins those V-Sync-latched semantics; controllers that instead need
+    a retimed pending tick use ``PeriodicTask.set_period(retime=True)``.
+    """
+
+    def test_pending_vsync_keeps_old_cadence(self):
+        from repro.display.panel import DisplayPanel
+        from repro.display.presets import panel_preset
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        panel = DisplayPanel(sim, panel_preset("galaxy-s3"),
+                             initial_rate_hz=20.0)
+        vsyncs = []
+        panel.add_vsync_listener(lambda t: vsyncs.append(t))
+        panel.start()
+        # Mid-frame request at t=0.06 (between the 0.05 and 0.10
+        # V-Syncs of the 20 Hz cadence).
+        sim.call_at(0.06, lambda s: panel.set_refresh_rate(60.0))
+        sim.run_until(0.06)
+        assert panel.refresh_rate_hz == 20.0  # not applied yet
+        sim.run_until(0.2)
+        # The pending V-Sync fired on the old 20 Hz cadence at 0.10;
+        # every interval after runs at 60 Hz.
+        assert vsyncs[0] == pytest.approx(0.05)
+        assert vsyncs[1] == pytest.approx(0.10)
+        assert vsyncs[2] == pytest.approx(0.10 + 1.0 / 60.0)
+        assert vsyncs[3] == pytest.approx(0.10 + 2.0 / 60.0)
+        assert panel.refresh_rate_hz == 60.0
+
+    def test_rate_history_steps_at_the_boundary(self):
+        from repro.display.panel import DisplayPanel
+        from repro.display.presets import panel_preset
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        panel = DisplayPanel(sim, panel_preset("galaxy-s3"),
+                             initial_rate_hz=20.0)
+        panel.start()
+        sim.call_at(0.06, lambda s: panel.set_refresh_rate(60.0))
+        sim.run_until(0.2)
+        # The recorded switch instant is the frame boundary (0.10),
+        # not the request instant (0.06).
+        assert panel.rate_history.sample([0.09])[0] == 20.0
+        assert panel.rate_history.sample([0.11])[0] == 60.0

@@ -16,7 +16,8 @@ class TestDocsExist:
     @pytest.mark.parametrize("name", ["methodology.md",
                                       "calibration.md",
                                       "api_tour.md",
-                                      "architecture.md"])
+                                      "architecture.md",
+                                      "traces.md"])
     def test_doc_present_and_substantial(self, name):
         path = REPO_ROOT / "docs" / name
         assert path.stat().st_size > 1500, name

@@ -7,6 +7,7 @@ import pytest
 
 import repro
 from repro.analysis.export import (
+    json_sanitize,
     session_summary_dict,
     write_events_csv,
     write_session_json,
@@ -41,6 +42,52 @@ class TestSummaryDict:
         path = write_session_json(result, tmp_path / "session.json")
         loaded = json.loads(path.read_text())
         assert loaded == session_summary_dict(result)
+
+
+class TestJsonSanitize:
+    def test_non_finite_floats_become_null(self):
+        document = {"a": float("inf"), "b": float("-inf"),
+                    "c": float("nan"), "d": 1.5,
+                    "nested": [{"e": float("inf")}, (2.0, float("nan"))]}
+        clean = json_sanitize(document)
+        assert clean == {"a": None, "b": None, "c": None, "d": 1.5,
+                         "nested": [{"e": None}, [2.0, None]]}
+        # The result must serialize under strict-JSON rules.
+        json.dumps(clean, allow_nan=False)
+
+    def test_non_float_values_pass_through(self):
+        document = {"s": "inf", "i": 7, "b": True, "n": None}
+        assert json_sanitize(document) == document
+
+    def test_metering_error_can_be_infinite(self):
+        from repro.core.quality import QualityReport
+        report = QualityReport(duration_s=1.0, actual_content_fps=5.0,
+                               displayed_content_fps=0.0,
+                               measured_content_fps=5.0)
+        assert report.metering_error == float("inf")
+
+    def test_infinite_metric_exports_as_null(self, result, tmp_path):
+        """A session whose metering error is infinite must still
+        produce strict JSON — ``Infinity`` is not a JSON token."""
+        from repro.core.quality import QualityReport
+        result = repro.run_session(repro.SessionConfig(
+            app="Facebook", governor="section+boost", duration_s=3.0,
+            seed=4))
+        # Shadow the report with the pathological corner: measured
+        # content with zero displayed content.
+        result.quality_report = lambda: QualityReport(
+            duration_s=3.0, actual_content_fps=5.0,
+            displayed_content_fps=0.0, measured_content_fps=5.0)
+        path = write_session_json(result, tmp_path / "inf.json")
+        text = path.read_text()
+        assert "Infinity" not in text
+
+        def reject(token):
+            raise AssertionError(f"non-JSON token {token!r} in export")
+
+        loaded = json.loads(text, parse_constant=reject)
+        assert loaded["metering_error"] is None
+        assert loaded["display_quality"] == 0.0
 
 
 class TestTraceCsv:

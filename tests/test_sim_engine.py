@@ -220,6 +220,58 @@ class TestPeriodicTask:
             PeriodicTask(sim, 0.0, lambda s: None)
 
 
+class TestSetPeriodRetime:
+    """``set_period(..., retime=True)`` re-times the pending tick."""
+
+    def test_shrinking_pulls_the_pending_tick_earlier(self):
+        sim = Simulator()
+        seen = []
+        task = PeriodicTask(sim, 1.0, lambda s: seen.append(s.now))
+        # At t=1.2 the next tick is pending for t=2.0; shrinking to
+        # 0.25 re-times it to last_fire + new_period = 1.25.
+        sim.call_at(1.2, lambda s: task.set_period(0.25, retime=True))
+        sim.run_until(2.0)
+        assert seen == [1.0, 1.25, 1.5, 1.75, 2.0]
+
+    def test_growing_pushes_the_pending_tick_later(self):
+        sim = Simulator()
+        seen = []
+        task = PeriodicTask(sim, 1.0, lambda s: seen.append(s.now))
+        sim.call_at(1.5, lambda s: task.set_period(3.0, retime=True))
+        sim.run_until(8.0)
+        assert seen == [1.0, 4.0, 7.0]
+
+    def test_overdue_tick_clamps_to_now(self):
+        sim = Simulator()
+        seen = []
+        task = PeriodicTask(sim, 10.0, lambda s: seen.append(s.now))
+        # last_fire=0, new period 1.0 -> 1.0 is already in the past at
+        # t=5; the tick fires immediately (now), not retroactively.
+        sim.call_at(5.0, lambda s: task.set_period(1.0, retime=True))
+        sim.run_until(7.5)
+        assert seen == [5.0, 6.0, 7.0]
+
+    def test_retime_after_stop_is_a_no_op(self):
+        sim = Simulator()
+        seen = []
+        task = PeriodicTask(sim, 1.0, lambda s: seen.append(s.now))
+        def stop_then_retime(s):
+            task.stop()
+            task.set_period(0.1, retime=True)
+        sim.call_at(1.5, stop_then_retime)
+        sim.run_until(5.0)
+        assert seen == [1.0]
+
+    def test_default_still_waits_for_next_reschedule(self):
+        sim = Simulator()
+        seen = []
+        task = PeriodicTask(sim, 1.0, lambda s: seen.append(s.now))
+        sim.call_at(0.1, lambda s: task.set_period(0.25))
+        sim.run_until(1.6)
+        # Pending tick keeps its old time; new period applies after.
+        assert seen == [1.0, 1.25, 1.5]
+
+
 class TestDeterminism:
     def test_identical_schedules_produce_identical_traces(self):
         def build_and_run():
