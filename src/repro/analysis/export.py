@@ -8,12 +8,14 @@ session's traces in plain formats any plotting stack reads.
 from __future__ import annotations
 
 import csv
+import io
 import json
 import math
 import pathlib
 from typing import Union
 
 from ..errors import ConfigurationError
+from ..ioutil import atomic_write_text
 
 PathLike = Union[str, pathlib.Path]
 
@@ -81,11 +83,9 @@ def write_session_json(result, path: PathLike) -> pathlib.Path:
     :func:`json_sanitize`); ``allow_nan=False`` guarantees the output
     never contains the non-standard ``Infinity``/``NaN`` tokens.
     """
-    path = pathlib.Path(path)
     document = json_sanitize(session_summary_dict(result))
-    path.write_text(json.dumps(document, indent=2, allow_nan=False)
-                    + "\n")
-    return path
+    text = json.dumps(document, indent=2, allow_nan=False) + "\n"
+    return atomic_write_text(pathlib.Path(path), text)
 
 
 def write_trace_csv(result, path: PathLike,
@@ -108,16 +108,15 @@ def write_trace_csv(result, path: PathLike,
     refresh = result.panel.rate_history.sample(centers)
     _, power = result.power_trace(bin_width_s=bin_width_s)
 
-    path = pathlib.Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["time_s", "frame_rate_fps",
-                         "content_rate_fps", "measured_content_fps",
-                         "refresh_hz", "power_mw"])
-        for row in zip(centers, frame_rate, content_rate, measured,
-                       refresh, power):
-            writer.writerow([f"{value:.6g}" for value in row])
-    return path
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(["time_s", "frame_rate_fps",
+                     "content_rate_fps", "measured_content_fps",
+                     "refresh_hz", "power_mw"])
+    for row in zip(centers, frame_rate, content_rate, measured,
+                   refresh, power):
+        writer.writerow([f"{value:.6g}" for value in row])
+    return atomic_write_text(pathlib.Path(path), buffer.getvalue())
 
 
 def write_events_csv(result, path: PathLike) -> pathlib.Path:
@@ -137,10 +136,9 @@ def write_events_csv(result, path: PathLike) -> pathlib.Path:
                for t in result.meaningful_compositions.times]
     events.sort()
 
-    path = pathlib.Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["time_s", "kind"])
-        for time, kind in events:
-            writer.writerow([f"{time:.6f}", kind])
-    return path
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(["time_s", "kind"])
+    for time, kind in events:
+        writer.writerow([f"{time:.6f}", kind])
+    return atomic_write_text(pathlib.Path(path), buffer.getvalue())

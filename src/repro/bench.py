@@ -239,18 +239,78 @@ def run_bench(workers: Optional[int] = None,
     }
 
 
+#: Metrics that only measure anything on a multicore runner.  They are
+#: recorded everywhere (the numbers are still informative) but gated
+#: only when both the baseline and the current runner actually had
+#: cores to parallelize over — see :func:`gate_skips`.
+PARALLEL_METRICS = ("batch32_workersN_s", "batch32_speedup_x")
+
+
+def gate_skips(current: Dict, baseline: Dict) -> List[Dict]:
+    """Per-metric gate exclusions, each with a printable reason.
+
+    The parallel metrics are skipped when the baseline was recorded on
+    a single core (``batch32_speedup_x`` ~ 1.0 there gates nothing but
+    noise) or when the current runner has fewer cores than the
+    baseline machine (an honest runner downgrade is not a code
+    regression).  Returns one record per skipped metric: ``metric``,
+    ``reason``.
+    """
+    skips: List[Dict] = []
+    base_cores = int(baseline.get("cpu_count", 0) or 0)
+    cur_cores = int(current.get("cpu_count", 0) or 0)
+    for name in PARALLEL_METRICS:
+        if name not in baseline.get("metrics", {}):
+            continue
+        if base_cores < 2:
+            skips.append({
+                "metric": name,
+                "reason": (f"baseline was recorded on "
+                           f"{base_cores} core(s); parallel metrics "
+                           f"gate nothing there — regenerate the "
+                           f"baseline on a multicore runner"),
+            })
+        elif cur_cores < base_cores:
+            skips.append({
+                "metric": name,
+                "reason": (f"runner has {cur_cores} core(s), fewer "
+                           f"than the baseline's {base_cores}; "
+                           f"parallel throughput is not comparable"),
+            })
+    return skips
+
+
+def _resolve_threshold(name: str, threshold: float,
+                       metric_thresholds: Optional[Dict[str, float]],
+                       ) -> float:
+    if metric_thresholds and name in metric_thresholds:
+        override = metric_thresholds[name]
+        if override <= 0:
+            raise ConfigurationError(
+                f"metric threshold for {name!r} must be > 0, got "
+                f"{override}")
+        return override
+    return threshold
+
+
 def compare_bench(current: Dict, baseline: Dict,
-                  threshold: float = 0.2) -> List[Dict]:
+                  threshold: float = 0.2,
+                  metric_thresholds: Optional[Dict[str, float]] = None,
+                  ) -> List[Dict]:
     """Regressions of ``current`` against ``baseline``.
 
     A lower-is-better metric regresses when it exceeds its baseline by
-    more than ``threshold`` (fraction); a higher-is-better metric when
-    it falls short by more.  A baseline metric the current document
-    lacks is a regression (a silently-dropped measurement must not
-    pass the gate); *extra* current metrics are fine — that is how new
-    metrics enter the baseline.  Returns one record per regression
-    (empty: gate passes), each with ``metric``, ``baseline``,
-    ``current`` and a human ``message``.
+    more than its threshold (fraction); a higher-is-better metric when
+    it falls short by more.  ``threshold`` applies to every metric not
+    named in ``metric_thresholds`` (per-metric overrides — noisy
+    metrics can be gated loosely without loosening the whole gate).  A
+    baseline metric the current document lacks is a regression (a
+    silently-dropped measurement must not pass the gate); *extra*
+    current metrics are fine — that is how new metrics enter the
+    baseline.  Metrics excluded by :func:`gate_skips` (parallel
+    metrics without the cores to back them) are not gated at all.
+    Returns one record per regression (empty: gate passes), each with
+    ``metric``, ``baseline``, ``current`` and a human ``message``.
     """
     if threshold <= 0:
         raise ConfigurationError(
@@ -266,8 +326,13 @@ def compare_bench(current: Dict, baseline: Dict,
         raise ConfigurationError(
             "refusing to compare a --fast document against a "
             "full-size one; their workloads differ")
+    skipped = {skip["metric"] for skip in gate_skips(current, baseline)}
     regressions = []
     for name, base in baseline["metrics"].items():
+        if name in skipped:
+            continue
+        allowed = _resolve_threshold(name, threshold,
+                                     metric_thresholds)
         if name not in current["metrics"]:
             regressions.append({
                 "metric": name, "baseline": base["value"],
@@ -277,11 +342,11 @@ def compare_bench(current: Dict, baseline: Dict,
             continue
         cur = current["metrics"][name]
         if base["higher_is_better"]:
-            limit = base["value"] * (1.0 - threshold)
+            limit = base["value"] * (1.0 - allowed)
             bad = cur["value"] < limit
             direction = "fell to"
         else:
-            limit = base["value"] * (1.0 + threshold)
+            limit = base["value"] * (1.0 + allowed)
             bad = cur["value"] > limit
             direction = "rose to"
         if bad:
@@ -350,28 +415,33 @@ def load_bench(path) -> Dict:
 
 
 def write_bench(bench: Dict, path=None) -> pathlib.Path:
-    """Write a bench document; default name ``BENCH_<rev>.json``."""
+    """Write a bench document atomically; default ``BENCH_<rev>.json``."""
+    from .ioutil import atomic_write_json
+
     if path is None:
         path = f"BENCH_{bench['rev']}.json"
-    path = pathlib.Path(path)
-    path.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
-    return path
+    return atomic_write_json(pathlib.Path(path), bench)
 
 
 def main_check(current: Dict, baseline_path,
-               threshold: float = 0.2) -> int:
-    """Gate helper: print verdict, return a process exit code."""
+               threshold: float = 0.2,
+               metric_thresholds: Optional[Dict[str, float]] = None,
+               ) -> int:
+    """Gate helper: print verdict (and skips), return an exit code."""
     baseline = load_bench(baseline_path)
-    regressions = compare_bench(current, baseline, threshold)
-    if not regressions:
-        # Verdicts go to stderr so `--json` keeps stdout parseable.
-        print(f"bench gate: OK — no metric regressed more than "
-              f"{100 * threshold:.0f}% vs {baseline_path}",
+    regressions = compare_bench(current, baseline, threshold,
+                                metric_thresholds=metric_thresholds)
+    # Verdicts go to stderr so `--json` keeps stdout parseable.
+    for skip in gate_skips(current, baseline):
+        print(f"bench gate: SKIP {skip['metric']} — {skip['reason']}",
               file=sys.stderr)
+    if not regressions:
+        print(f"bench gate: OK — no gated metric regressed more than "
+              f"its threshold (default {100 * threshold:.0f}%) vs "
+              f"{baseline_path}", file=sys.stderr)
         return 0
     print(f"bench gate: FAIL — {len(regressions)} metric(s) "
-          f"regressed more than {100 * threshold:.0f}% vs "
-          f"{baseline_path}", file=sys.stderr)
+          f"regressed vs {baseline_path}", file=sys.stderr)
     for regression in regressions:
         print(f"  {regression['message']}", file=sys.stderr)
     return 1

@@ -153,6 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--threshold", type=float, default=0.2,
                          help="allowed regression fraction per metric "
                               "(default 0.2 = 20%%)")
+    p_bench.add_argument("--metric-threshold", action="append",
+                         default=None, metavar="NAME=FRACTION",
+                         help="per-metric override of --threshold "
+                              "(repeatable), e.g. "
+                              "batch32_speedup_x=0.35")
     p_bench.add_argument("--workers", type=int, default=None,
                          help="worker count for the batch workload "
                               "(default: one per CPU)")
@@ -206,6 +211,125 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--out", required=True, metavar="PATH",
                        help="trace file to write (.rptrace)")
     p_gen.set_defaults(func=cmd_trace_gen)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the durable session service over a state "
+                      "directory (docs/service.md)")
+    p_serve.add_argument("--state-dir", required=True, metavar="DIR",
+                         help="service state directory (journal, "
+                              "jobs, checkpoints, results)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent session workers (default 2)")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="worker-pool shards, each with its own "
+                              "bounded queue (default 1)")
+    p_serve.add_argument("--queue-capacity", type=int, default=16,
+                         help="bounded queue capacity per shard "
+                              "(default 16)")
+    p_serve.add_argument("--checkpoint-period", type=float,
+                         default=5.0, metavar="SIM_S",
+                         help="sim seconds of progress between "
+                              "checkpoints (default 5)")
+    p_serve.add_argument("--slice", type=float, default=1.0,
+                         metavar="SIM_S",
+                         help="sim seconds advanced per cooperative "
+                              "step (default 1)")
+    p_serve.add_argument("--slice-sleep", type=float, default=0.0,
+                         metavar="WALL_S",
+                         help="wall seconds slept between steps "
+                              "(paces execution; default 0)")
+    p_serve.add_argument("--max-attempts", type=int, default=3,
+                         help="attempts per job before a terminal "
+                              "failure record (default 3)")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         metavar="WALL_S",
+                         help="default per-job wall-clock deadline "
+                              "(jobs may carry their own)")
+    p_serve.add_argument("--breaker-threshold", type=int, default=5,
+                         help="consecutive failures that open the "
+                              "circuit breaker (default 5)")
+    p_serve.add_argument("--breaker-cooldown", type=float,
+                         default=30.0, metavar="WALL_S",
+                         help="seconds the breaker stays open "
+                              "(default 30)")
+    p_serve.add_argument("--until-idle", action="store_true",
+                         help="exit once every known job is terminal "
+                              "and no new jobs arrive (batch mode)")
+    p_serve.add_argument("--max-runtime", type=float, default=None,
+                         metavar="WALL_S",
+                         help="park everything and exit after this "
+                              "many wall seconds (CI safety net)")
+    p_serve.add_argument("--no-fsync", action="store_true",
+                         help="skip per-append journal fsync (faster, "
+                              "test-only; crash durability weakens)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="spool a session job into a service state "
+                       "directory (atomic; works with no service "
+                       "running)")
+    p_submit.add_argument("--state-dir", required=True, metavar="DIR")
+    source = p_submit.add_mutually_exclusive_group(required=True)
+    source.add_argument("--spec", default=None, metavar="PATH",
+                        help="SessionSpec JSON document to submit "
+                             "('-' reads stdin)")
+    source.add_argument("--app", default=None,
+                        help="catalog application name (builds the "
+                             "spec from --governor/--duration/--seed)")
+    source.add_argument("--trace", default=None, metavar="PATH",
+                        help="frame-trace file; submits its replay "
+                             "session")
+    p_submit.add_argument("--governor", default="section+boost",
+                          choices=governor_names())
+    p_submit.add_argument("--duration", type=float, default=45.0)
+    p_submit.add_argument("--seed", type=int, default=1)
+    p_submit.add_argument("--panel", default="galaxy-s3",
+                          choices=panel_preset_names())
+    p_submit.add_argument("--job-id", default=None,
+                          help="job id (default: content-addressed "
+                               "from the spec)")
+    p_submit.add_argument("--deadline", type=float, default=None,
+                          metavar="WALL_S",
+                          help="per-job wall-clock deadline")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="report job states and health for a service "
+                       "state directory")
+    p_status.add_argument("--state-dir", required=True, metavar="DIR")
+    p_status.add_argument("--json", action="store_true",
+                          help="machine-readable status document")
+    p_status.set_defaults(func=cmd_status)
+
+    p_drain = sub.add_parser(
+        "drain", help="ask a running service to finish every queued "
+                      "job and exit (or --stop to park and exit now)")
+    p_drain.add_argument("--state-dir", required=True, metavar="DIR")
+    p_drain.add_argument("--stop", action="store_true",
+                         help="park in-flight jobs and exit "
+                              "immediately instead of draining")
+    p_drain.set_defaults(func=cmd_drain)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run the service chaos harness: kill -9 the "
+                      "service mid-job, corrupt checkpoints, tear the "
+                      "journal; assert full recovery")
+    p_chaos.add_argument("--state-dir", default=None, metavar="DIR",
+                         help="scratch directory (default: a fresh "
+                              "temp dir, removed on success)")
+    p_chaos.add_argument("--jobs", type=int, default=3,
+                         help="spec jobs per scenario (default 3; a "
+                              "trace job is always added)")
+    p_chaos.add_argument("--duration", type=float, default=20.0,
+                         help="sim seconds per job (default 20)")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--scenarios", default=None,
+                         help="comma-separated subset of: "
+                              "kill,corrupt_checkpoint,"
+                              "truncate_journal")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="machine-readable report")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     return parser
 
@@ -429,8 +553,8 @@ def cmd_report(args: argparse.Namespace) -> int:
             trace_duration_s=20.0, fig6_duration_s=5.0)
     else:
         text = generate_report()
-    path = pathlib.Path(args.out)
-    path.write_text(text)
+    from .ioutil import atomic_write_text
+    path = atomic_write_text(pathlib.Path(args.out), text)
     print(text)
     print(f"(written to {path})")
     return 0
@@ -474,7 +598,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
                            None if args.out == "auto" else args.out)
         print(f"wrote {path}", file=sys.stderr)
     if args.check:
-        return main_check(bench, args.check, args.threshold)
+        overrides = {}
+        for item in args.metric_threshold or ():
+            name, _, value = item.partition("=")
+            if not name or not value:
+                raise ConfigurationError(
+                    f"--metric-threshold expects NAME=FRACTION, got "
+                    f"{item!r}")
+            try:
+                overrides[name] = float(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"--metric-threshold {item!r}: {value!r} is not "
+                    f"a number") from None
+        return main_check(bench, args.check, args.threshold,
+                          metric_thresholds=overrides or None)
     return 0
 
 
@@ -527,7 +665,8 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
         if args.summary_json == "-":
             sys.stdout.write(text)
         else:
-            pathlib.Path(args.summary_json).write_text(text)
+            from .ioutil import atomic_write_text
+            atomic_write_text(pathlib.Path(args.summary_json), text)
             print(f"wrote {args.summary_json}")
     return 0
 
@@ -562,6 +701,145 @@ def cmd_trace_gen(args: argparse.Namespace) -> int:
     print(f"encoded:        {info['encoded_frame_bytes']} B "
           f"({100 * info['compression_ratio']:.1f}% of raw)")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import sys
+
+    from .service import ServiceConfig, SessionService
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        workers=args.workers,
+        shards=args.shards,
+        queue_capacity=args.queue_capacity,
+        checkpoint_period_s=args.checkpoint_period,
+        slice_s=args.slice,
+        slice_sleep_s=args.slice_sleep,
+        max_attempts=args.max_attempts,
+        default_deadline_s=args.deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        until_idle=args.until_idle,
+        max_runtime_s=args.max_runtime,
+        fsync_journal=not args.no_fsync,
+    )
+    service = SessionService(config)
+    print(f"serving {args.state_dir} "
+          f"(workers={args.workers}, shards={args.shards})",
+          file=sys.stderr)
+    summary = asyncio.run(service.serve())
+    jobs = summary["jobs"]
+    print(f"service exit: {jobs['done']} done, {jobs['failed']} "
+          f"failed, {jobs['rejected']} rejected, "
+          f"{jobs['pending'] + jobs['running']} parked/pending",
+          file=sys.stderr)
+    return 0
+
+
+def _submit_spec_document(args: argparse.Namespace) -> dict:
+    """The SessionSpec document `repro submit` should spool."""
+    import json
+    import pathlib
+    import sys
+
+    from .pipeline.spec import SessionSpec
+    if args.spec is not None:
+        text = (sys.stdin.read() if args.spec == "-"
+                else pathlib.Path(args.spec).read_text())
+        # Round-trip through the strict decoder so a malformed spec is
+        # rejected at submit time, not inside a service worker.
+        return SessionSpec.from_json(text).to_json_dict()
+    app = args.app if args.app is not None else f"trace:{args.trace}"
+    config = SessionConfig(
+        app=app, governor=args.governor, duration_s=args.duration,
+        seed=args.seed, panel=panel_preset(args.panel))
+    return SessionSpec.from_config(config).to_json_dict()
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .service import JobRequest
+    from .service.service import (
+        job_id_for_spec,
+        next_submit_seq,
+        submit_job,
+    )
+    spec_document = _submit_spec_document(args)
+    job_id = args.job_id or job_id_for_spec(spec_document)
+    job = JobRequest(
+        job_id=job_id, spec=spec_document,
+        deadline_s=args.deadline,
+        submitted_seq=next_submit_seq(args.state_dir))
+    path = submit_job(args.state_dir, job)
+    print(f"submitted {job_id} -> {path}")
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.service import service_status
+    status = service_status(args.state_dir)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    counts = status["counts"]
+    print(f"state dir:      {status['state_dir']}")
+    print(f"jobs:           {len(status['jobs'])} known "
+          f"({counts['done']} done, {counts['failed']} failed, "
+          f"{counts['rejected']} rejected, {counts['parked']} parked, "
+          f"{counts['pending']} pending)")
+    journal = status["journal"]
+    damage = ""
+    if journal["torn_tail"] or journal["bad_lines"]:
+        damage = (f"  [damage: torn_tail={journal['torn_tail']}, "
+                  f"bad_lines={journal['bad_lines']}]")
+    print(f"journal:        {journal['records']} records{damage}")
+    health = status.get("health")
+    if health:
+        breaker = health.get("breaker", {})
+        print(f"last health:    state={health.get('state')} "
+              f"ready={health.get('ready')} "
+              f"breaker={breaker.get('state')}")
+    if status["jobs"]:
+        rows = [[entry["job_id"], entry["status"],
+                 entry.get("error_type") or ""]
+                for entry in status["jobs"]]
+        print(format_table(["job", "status", "error"], rows))
+    return 0
+
+
+def cmd_drain(args: argparse.Namespace) -> int:
+    from .service.service import request_drain, request_stop
+    if args.stop:
+        marker = request_stop(args.state_dir)
+        print(f"stop requested -> {marker}")
+    else:
+        marker = request_drain(args.state_dir)
+        print(f"drain requested -> {marker}")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.chaos import CHAOS_SCENARIOS, ChaosConfig, run_chaos
+    scenarios = (tuple(args.scenarios.split(","))
+                 if args.scenarios else CHAOS_SCENARIOS)
+    report = run_chaos(ChaosConfig(
+        state_dir=args.state_dir, jobs=args.jobs,
+        duration_s=args.duration, seed=args.seed,
+        scenarios=scenarios))
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for scenario in report["scenarios"]:
+            flag = "ok" if scenario["ok"] else "FAIL"
+            print(f"{scenario['name']:<22} {flag:<5} "
+                  f"{scenario['detail']}")
+        print(f"chaos: {report['passed']}/{report['total']} "
+              f"scenarios passed")
+    return 0 if report["ok"] else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

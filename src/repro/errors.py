@@ -92,6 +92,33 @@ class WorkerCrashError(ReproError):
     cannot be recovered, only the fact of the crash."""
 
 
+class ServiceError(ReproError):
+    """Session-service misuse or internal failure (bad state directory,
+    malformed job document, submitting to a stopped service)."""
+
+
+class JournalError(ServiceError):
+    """The service journal is unusable beyond the tolerated crash damage
+    (unwritable path, schema mismatch on a decoded record).  Torn tails
+    and isolated bad lines do *not* raise — they are counted and
+    reported by the tolerant reader (:func:`repro.ioutil.read_jsonl`)."""
+
+
+class CheckpointError(ServiceError):
+    """A checkpoint document cannot be used to resume: unreadable file,
+    wrong schema, spec that fails to decode, or a state digest that does
+    not match the deterministically replayed state.  Recovery code
+    treats this as "restart the job from scratch", never as a reason to
+    trust the checkpoint anyway."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service refused a job instead of hanging: the circuit breaker
+    is open (workers keep dying) or the bounded queue is full.  Carries
+    structured context (breaker state, queue depth) so callers can back
+    off intelligently."""
+
+
 class FaultInjectionError(ReproError):
     """Fault-injection subsystem misuse (e.g. an unknown fault site in
     a plan spec, or a rate outside [0, 1]).  Note: *injected* faults do

@@ -306,51 +306,17 @@ class SessionBuilder:
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> "SessionResult":
-        """Assemble (if needed), run the session, return its traces."""
-        from ..sim.session import SessionResult
+        """Assemble (if needed), run the session, return its traces.
 
-        self.assemble()
-        config = self.config
-        application = self._need(self.application, "application")
-        panel = self._need(self.panel, "panel")
-        driver = self._need(self.driver, "driver")
-        meter = self._need(self.meter, "meter")
-        policy = self._need(self.policy, "policy")
+        Delegates to :class:`~repro.sim.runner.SessionRunner`, the
+        incremental start/advance/finish core — running to completion
+        is the single-slice special case of sliced execution, so the
+        run-to-completion and checkpoint/resume paths cannot drift
+        apart.
+        """
+        from ..sim.runner import SessionRunner
 
-        application.start()
-        if self.status_bar_app is not None:
-            self.status_bar_app.start()
-        panel.start()
-        driver.start()
-        self._need(self.touch_source, "touch_source").start()
-        self.sim.run_until(config.duration_s)
-        driver.stop()
-        panel.stop()
-
-        if self.telemetry is not None:
-            finalize_telemetry(self.telemetry, config, self.sim, panel,
-                               meter, self.injector, self.watchdog)
-
-        return SessionResult(
-            config=config,
-            profile=self.profile,
-            duration_s=config.duration_s,
-            governor_name=policy.name,
-            metering_active=config.governor != "fixed",
-            panel=panel,
-            meter=meter,
-            application=application,
-            driver=driver,
-            touch_script=self._need(self.touch_script, "touch_script"),
-            compositions=self._need(self.compositions, "compositions"),
-            meaningful_compositions=self._need(
-                self.meaningful_compositions, "meaningful_compositions"),
-            oled_tracker=self.oled_tracker,
-            status_bar_app=self.status_bar_app,
-            injector=self.injector,
-            watchdog=self.watchdog,
-            telemetry=self.telemetry,
-        )
+        return SessionRunner(self).run()
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -321,6 +321,26 @@ class SessionSpec:
         return json.dumps(self.to_json_dict(), indent=indent,
                           sort_keys=True)
 
+    def canonical_json(self) -> str:
+        """The spec's canonical wire form: sorted keys, no indent.
+
+        Two equal specs always canonicalize to the same string, which
+        is what makes :meth:`digest` a stable identity.
+        """
+        return self.to_json(indent=None)
+
+    def digest(self) -> str:
+        """``sha256:<hex>`` over :meth:`canonical_json`.
+
+        Used by the session service to derive content-addressed job
+        ids and by checkpoint verification to pin which spec a
+        checkpoint belongs to.
+        """
+        import hashlib
+
+        payload = self.canonical_json().encode("utf-8")
+        return "sha256:" + hashlib.sha256(payload).hexdigest()
+
     @classmethod
     def from_json(cls, text: str) -> "SessionSpec":
         """Parse a string produced by :meth:`to_json`."""

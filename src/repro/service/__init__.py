@@ -1,0 +1,46 @@
+"""The durable session service: crash-safe queue, checkpoint/resume.
+
+``repro.service`` turns the run-to-completion batch engine into a
+long-running service (``repro serve``) whose jobs survive process
+death:
+
+* :mod:`repro.service.jobs` — the ``repro-job/1`` / ``repro-result/1``
+  wire formats and the on-disk state-directory layout;
+* :mod:`repro.service.journal` — the append-only, crash-tolerant
+  operations journal;
+* :mod:`repro.service.breaker` — the circuit breaker that sheds load
+  when workers keep dying;
+* :mod:`repro.service.service` — the asyncio service itself: sharded
+  workers, bounded queues, deadlines, retry with backoff, checkpointed
+  graceful shutdown, health reporting;
+* :mod:`repro.service.chaos` — the chaos harness that kills the
+  service mid-job and asserts recovery.
+
+Architecture and failure matrix: ``docs/service.md``.
+"""
+
+from .breaker import BreakerState, CircuitBreaker
+from .jobs import (
+    JOB_SCHEMA,
+    RESULT_SCHEMA,
+    JobRequest,
+    JobStatus,
+    ServicePaths,
+)
+from .journal import Journal, read_journal
+from .service import ServiceConfig, SessionService, submit_job
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "JOB_SCHEMA",
+    "Journal",
+    "JobRequest",
+    "JobStatus",
+    "RESULT_SCHEMA",
+    "ServiceConfig",
+    "ServicePaths",
+    "SessionService",
+    "read_journal",
+    "submit_job",
+]

@@ -1,0 +1,493 @@
+"""Chaos harness: crash the session service on purpose, check it heals.
+
+Each scenario runs a real ``repro serve`` subprocess against a scratch
+state directory, injures it in a specific way, restarts it, and then
+verifies three things:
+
+* **liveness** — every submitted job reaches a terminal result within a
+  hard wall-clock budget (the harness never hangs: every wait is
+  bounded, and a timeout is itself a structured failure);
+* **correctness** — each completed job's summary is byte-identical to
+  the summary an uninterrupted in-process :func:`run_session` of the
+  same spec produces;
+* **idempotence** — the journal records at most one ``job_done`` per
+  job across all service incarnations (results are write-once, so a
+  crash-restart must not repeat side effects).
+
+Scenarios (:data:`CHAOS_SCENARIOS`):
+
+``kill``
+    SIGKILL the service once the first checkpoint lands, restart it,
+    and require every job — including a ``trace:<path>`` replay job and
+    a fault-injected job — to finish with the correct summary.
+``corrupt_checkpoint``
+    Same kill, but every on-disk checkpoint is then corrupted
+    (truncation, garbage bytes, or a digest flip, rotating
+    deterministically by seed).  The restarted service must detect
+    each bad checkpoint (``checkpoint_invalid`` in the journal),
+    restart those jobs from scratch, and still produce correct
+    summaries — never silently resume from a lie.
+``truncate_journal``
+    Same kill, then the journal tail is torn mid-record.  The restart
+    must tolerate the damage (recording a ``recovery`` note) and
+    complete every job.
+
+The harness is exposed as ``repro chaos`` in the CLI and doubles as the
+CI service smoke test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ServiceError
+from ..faults.plan import FaultPlan
+from ..pipeline.spec import SessionSpec
+from ..sim.batch import summarize_result
+from ..sim.session import SessionConfig, run_session
+from .jobs import JobRequest, JobStatus, ServicePaths, load_result
+from .journal import read_journal
+from .service import submit_job
+
+PathLike = Union[str, pathlib.Path]
+
+#: Scenario names, in the order ``run_chaos`` executes them.
+CHAOS_SCENARIOS: Tuple[str, ...] = (
+    "kill", "corrupt_checkpoint", "truncate_journal")
+
+#: How a checkpoint gets damaged in ``corrupt_checkpoint`` (one mode
+#: per checkpoint file, rotating deterministically).
+_CORRUPTION_MODES: Tuple[str, ...] = ("truncate", "garbage", "digest")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs for one :func:`run_chaos` campaign.
+
+    ``state_dir`` is the scratch *root*; each scenario gets its own
+    subdirectory under it.  When None a temporary directory is created
+    and removed again unless a scenario fails (failed state is kept
+    for post-mortem and its path reported).
+    """
+
+    state_dir: Optional[str] = None
+    jobs: int = 3
+    duration_s: float = 20.0
+    seed: int = 0
+    scenarios: Sequence[str] = CHAOS_SCENARIOS
+    #: Wall-clock pause between sim slices inside the service — paces
+    #: execution so the kill lands mid-job instead of after the fact.
+    slice_sleep_s: float = 0.05
+    #: Sim seconds between service checkpoints.
+    checkpoint_period_s: float = 2.0
+    #: Hard budget for each service incarnation to drain all jobs.
+    serve_timeout_s: float = 120.0
+    #: Hard budget for the first checkpoint to appear before the kill.
+    kill_wait_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ServiceError(
+                f"chaos needs at least 1 job, got {self.jobs}",
+                context={"subsystem": "chaos"})
+        if self.duration_s <= 0:
+            raise ServiceError(
+                f"duration_s must be positive, got {self.duration_s}",
+                context={"subsystem": "chaos"})
+        unknown = [s for s in self.scenarios if s not in CHAOS_SCENARIOS]
+        if unknown:
+            raise ServiceError(
+                f"unknown chaos scenario(s) {unknown}; "
+                f"choices: {CHAOS_SCENARIOS}",
+                context={"subsystem": "chaos"})
+        if not self.scenarios:
+            raise ServiceError("no chaos scenarios selected",
+                               context={"subsystem": "chaos"})
+
+
+# ----------------------------------------------------------------------
+# Workload construction
+# ----------------------------------------------------------------------
+
+_CHAOS_APPS = ("Jelly Splash", "Daum", "Auction")
+
+
+def _build_specs(scenario_dir: pathlib.Path,
+                 config: ChaosConfig) -> List[Tuple[str, SessionSpec]]:
+    """The job mix for one scenario: plain specs, a faulted spec, and
+    a ``trace:<path>`` replay job.
+
+    Returns ``(job_id, spec)`` pairs.  Every spec is deterministic and
+    untelemetered, so its summary can be recomputed in-process for the
+    byte-identity check.
+    """
+    specs: List[Tuple[str, SessionSpec]] = []
+    for index in range(config.jobs):
+        app = _CHAOS_APPS[index % len(_CHAOS_APPS)]
+        cfg = SessionConfig(app=app, governor="section+boost",
+                            duration_s=config.duration_s,
+                            seed=config.seed + index)
+        specs.append((f"chaos-spec-{index}", SessionSpec.from_config(cfg)))
+    # One job that exercises repro.faults under the service.
+    faulted = SessionConfig(
+        app=_CHAOS_APPS[0], governor="section+boost",
+        duration_s=config.duration_s, seed=config.seed,
+        faults=FaultPlan.parse(
+            "panel_refuse=0.05,touch_drop=0.1", seed=config.seed))
+    specs.append(("chaos-faulted", SessionSpec.from_config(faulted)))
+    # One trace-replay job: record a synthetic trace next to the state
+    # dir and submit a spec whose app is the trace:<path> scheme.
+    from ..traces.format import save_trace
+    from ..traces.synth import synthetic_trace
+    trace_path = scenario_dir / "chaos.trace"
+    save_trace(synthetic_trace("scroll",
+                               duration_s=min(config.duration_s, 10.0),
+                               seed=config.seed),
+               trace_path)
+    traced = SessionConfig(app=f"trace:{trace_path}",
+                           governor="section+boost",
+                           duration_s=min(config.duration_s, 10.0),
+                           seed=config.seed)
+    specs.append(("chaos-trace", SessionSpec.from_config(traced)))
+    return specs
+
+
+def _submit_all(state_dir: pathlib.Path,
+                specs: Sequence[Tuple[str, SessionSpec]]) -> None:
+    for seq, (job_id, spec) in enumerate(specs):
+        submit_job(state_dir, JobRequest(
+            job_id=job_id, spec=spec.to_json_dict(),
+            deadline_s=None, submitted_seq=seq))
+
+
+def _expected_summary(spec: SessionSpec) -> str:
+    """The canonical summary JSON an uninterrupted run produces."""
+    from ..analysis.export import json_sanitize
+    summary = json_sanitize(summarize_result(run_session(spec.to_config())))
+    return json.dumps(summary, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Service process control
+# ----------------------------------------------------------------------
+
+def _spawn_serve(state_dir: pathlib.Path, config: ChaosConfig,
+                 log_path: pathlib.Path) -> "subprocess.Popen[bytes]":
+    """Start ``repro serve --until-idle`` against ``state_dir``.
+
+    Output goes to ``log_path`` (appended across incarnations) so a
+    failing scenario leaves the service's own account behind.
+    """
+    src_dir = pathlib.Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (str(src_dir) if not existing
+                         else str(src_dir) + os.pathsep + existing)
+    command = [sys.executable, "-m", "repro", "serve",
+               "--state-dir", str(state_dir),
+               "--workers", "2",
+               "--until-idle",
+               "--slice-sleep", str(config.slice_sleep_s),
+               "--checkpoint-period", str(config.checkpoint_period_s),
+               "--max-runtime", str(config.serve_timeout_s)]
+    with log_path.open("ab") as log:
+        return subprocess.Popen(command, stdout=log,
+                                stderr=subprocess.STDOUT, env=env)
+
+
+def _wait_until(predicate, timeout_s: float,
+                poll_s: float = 0.05) -> bool:
+    """Poll ``predicate`` until true or ``timeout_s`` elapses."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return bool(predicate())
+
+
+def _end_process(proc: "subprocess.Popen[bytes]") -> None:
+    """Make sure a service process is gone (kill, bounded wait)."""
+    if proc.poll() is None:
+        proc.kill()
+    try:
+        proc.wait(timeout=10.0)
+    except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+        pass
+
+
+def _kill_after_first_checkpoint(
+        proc: "subprocess.Popen[bytes]", paths: ServicePaths,
+        config: ChaosConfig) -> Optional[str]:
+    """SIGKILL the service once a checkpoint exists.
+
+    Returns an error detail string on failure, None on success.  If
+    the service drains everything before a checkpoint appears the kill
+    still happens (against a finished process this is a no-op) and the
+    restart phase degrades to an idempotence check — that is recorded
+    as success, not failure.
+    """
+    def checkpoint_or_exit() -> bool:
+        if proc.poll() is not None:
+            return True
+        return any(paths.checkpoints_dir.glob("*.json"))
+
+    if not _wait_until(checkpoint_or_exit, config.kill_wait_s):
+        _end_process(proc)
+        return (f"no checkpoint appeared within {config.kill_wait_s}s "
+                f"and the service did not exit")
+    if proc.poll() is None:
+        os.kill(proc.pid, signal.SIGKILL)
+    try:
+        proc.wait(timeout=10.0)
+    except subprocess.TimeoutExpired:
+        return "service survived SIGKILL for 10s"
+    return None
+
+
+def _log_tail(log_path: pathlib.Path, lines: int = 12) -> str:
+    try:
+        text = log_path.read_text(errors="replace")
+    except OSError:
+        return "<no service log>"
+    return " | ".join(text.strip().splitlines()[-lines:])
+
+
+# ----------------------------------------------------------------------
+# Damage injection
+# ----------------------------------------------------------------------
+
+def corrupt_checkpoint(path: PathLike, mode: str, seed: int = 0) -> None:
+    """Damage a checkpoint file in place.
+
+    ``truncate`` keeps the first half of the bytes (torn write),
+    ``garbage`` overwrites the middle with seeded noise (bit rot), and
+    ``digest`` rewrites the JSON with a flipped state digest (the
+    subtle case: structurally valid, semantically a lie).
+    """
+    target = pathlib.Path(path)
+    data = target.read_bytes()
+    if mode == "truncate":
+        target.write_bytes(data[:max(1, len(data) // 2)])
+    elif mode == "garbage":
+        import random
+        rng = random.Random(seed)
+        noise = bytes(rng.randrange(256) for _ in range(32))
+        middle = len(data) // 2
+        target.write_bytes(data[:middle] + noise + data[middle + 32:])
+    elif mode == "digest":
+        document = json.loads(data.decode("utf-8"))
+        digest = document.get("digest", "")
+        flipped = digest[:-8] + ("0" * 8 if not digest.endswith("0" * 8)
+                                 else "f" * 8)
+        document["digest"] = flipped
+        target.write_bytes(json.dumps(document).encode("utf-8"))
+    else:
+        raise ServiceError(
+            f"unknown corruption mode {mode!r}; "
+            f"choices: {_CORRUPTION_MODES}",
+            context={"subsystem": "chaos"})
+
+
+def truncate_journal_tail(path: PathLike, cut_bytes: int = 7) -> bool:
+    """Tear the journal's last record mid-line (simulated torn write).
+
+    Returns True if the file was actually shortened.
+    """
+    target = pathlib.Path(path)
+    try:
+        data = target.read_bytes()
+    except FileNotFoundError:
+        return False
+    if len(data) <= cut_bytes:
+        return False
+    target.write_bytes(data[:-cut_bytes])
+    return True
+
+
+# ----------------------------------------------------------------------
+# Verification
+# ----------------------------------------------------------------------
+
+def _verify_outcomes(paths: ServicePaths,
+                     specs: Sequence[Tuple[str, SessionSpec]]
+                     ) -> List[str]:
+    """Check results, summaries, and journal idempotence.
+
+    Returns a list of problem strings (empty means the scenario's
+    universal postconditions hold).
+    """
+    problems: List[str] = []
+    journal = read_journal(paths.journal_path)
+    for job_id, spec in specs:
+        try:
+            result = load_result(paths, job_id)
+        except ServiceError as exc:
+            problems.append(f"{job_id}: unreadable result ({exc})")
+            continue
+        if result is None:
+            problems.append(f"{job_id}: no terminal result")
+            continue
+        if result.get("status") != JobStatus.DONE:
+            problems.append(
+                f"{job_id}: status {result.get('status')!r}, "
+                f"failure={result.get('failure', {}).get('error_type')}")
+            continue
+        got = json.dumps(result.get("summary"), sort_keys=True)
+        if got != _expected_summary(spec):
+            problems.append(
+                f"{job_id}: summary differs from uninterrupted run")
+        done_records = journal.count("job_done", job_id=job_id)
+        if done_records > 1:
+            problems.append(
+                f"{job_id}: {done_records} job_done journal "
+                f"records (duplicate side effects)")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+def _run_scenario(name: str, root: pathlib.Path,
+                  config: ChaosConfig) -> Dict[str, Any]:
+    scenario_dir = root / name
+    state_dir = scenario_dir / "state"
+    state_dir.mkdir(parents=True, exist_ok=True)
+    log_path = scenario_dir / "serve.log"
+    paths = ServicePaths(state_dir)
+
+    specs = _build_specs(scenario_dir, config)
+    _submit_all(state_dir, specs)
+
+    # Phase 1: run, then SIGKILL once checkpoint state exists.
+    proc = _spawn_serve(state_dir, config, log_path)
+    try:
+        error = _kill_after_first_checkpoint(proc, paths, config)
+    finally:
+        _end_process(proc)
+    if error is not None:
+        return {"name": name, "ok": False,
+                "detail": f"{error}; log: {_log_tail(log_path)}",
+                "state_dir": str(state_dir)}
+
+    # Phase 2: injure the on-disk state (scenario-specific).
+    detail_bits: List[str] = []
+    if name == "corrupt_checkpoint":
+        checkpoints = sorted(paths.checkpoints_dir.glob("*.json"))
+        for index, checkpoint in enumerate(checkpoints):
+            mode = _CORRUPTION_MODES[
+                (config.seed + index) % len(_CORRUPTION_MODES)]
+            corrupt_checkpoint(checkpoint, mode, seed=config.seed + index)
+            detail_bits.append(f"{checkpoint.name}:{mode}")
+        if not checkpoints:
+            return {"name": name, "ok": False,
+                    "detail": "kill landed but no checkpoint survived "
+                              "to corrupt",
+                    "state_dir": str(state_dir)}
+    elif name == "truncate_journal":
+        if not truncate_journal_tail(paths.journal_path):
+            return {"name": name, "ok": False,
+                    "detail": "journal too small to tear",
+                    "state_dir": str(state_dir)}
+        detail_bits.append("journal tail torn")
+
+    # Phase 3: restart and let the service drain everything.
+    proc = _spawn_serve(state_dir, config, log_path)
+    try:
+        finished = _wait_until(lambda: proc.poll() is not None,
+                               config.serve_timeout_s + 15.0,
+                               poll_s=0.2)
+    finally:
+        _end_process(proc)
+    if not finished:
+        return {"name": name, "ok": False,
+                "detail": f"restarted service did not drain within "
+                          f"{config.serve_timeout_s + 15.0}s; "
+                          f"log: {_log_tail(log_path)}",
+                "state_dir": str(state_dir)}
+    if proc.returncode != 0:
+        return {"name": name, "ok": False,
+                "detail": f"restarted service exited {proc.returncode}; "
+                          f"log: {_log_tail(log_path)}",
+                "state_dir": str(state_dir)}
+
+    # Phase 4: universal postconditions + scenario-specific evidence.
+    problems = _verify_outcomes(paths, specs)
+    journal = read_journal(paths.journal_path)
+    if name == "corrupt_checkpoint":
+        invalid = journal.count("checkpoint_invalid")
+        if not invalid:
+            problems.append(
+                "no checkpoint_invalid journal record — corruption "
+                "went undetected")
+        else:
+            detail_bits.append(
+                f"{invalid} checkpoint(s) rejected")
+    elif name == "truncate_journal":
+        recoveries = journal.count("recovery")
+        if not recoveries and not journal.damage.damaged:
+            problems.append(
+                "torn journal left no recovery record and no "
+                "detected damage")
+        else:
+            detail_bits.append(
+                f"damage detected (bad_lines={journal.damage.bad_lines}, "
+                f"torn_tail={journal.damage.torn_tail})")
+    if problems:
+        return {"name": name, "ok": False,
+                "detail": "; ".join(problems),
+                "state_dir": str(state_dir)}
+    done = sum(1 for job_id, _ in specs
+               if (load_result(paths, job_id) or {}).get("status")
+               == JobStatus.DONE)
+    detail = (f"{done}/{len(specs)} jobs correct after crash-restart"
+              + (f" ({', '.join(detail_bits)})" if detail_bits else ""))
+    return {"name": name, "ok": True, "detail": detail,
+            "state_dir": str(state_dir)}
+
+
+def run_chaos(config: ChaosConfig) -> Dict[str, Any]:
+    """Run the selected scenarios; never hangs, never raises on a
+    scenario failure — failures come back as structured records.
+
+    The report: ``{"schema", "scenarios": [{name, ok, detail,
+    state_dir}], "passed", "total", "ok"}``.
+    """
+    if config.state_dir is not None:
+        root = pathlib.Path(config.state_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        owns_root = False
+    else:
+        root = pathlib.Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+        owns_root = True
+
+    scenarios: List[Dict[str, Any]] = []
+    for name in config.scenarios:
+        try:
+            scenarios.append(_run_scenario(name, root, config))
+        except Exception as exc:  # noqa: BLE001 - harness must not die
+            scenarios.append({
+                "name": name, "ok": False,
+                "detail": f"harness error: "
+                          f"{exc.__class__.__name__}: {exc}",
+                "state_dir": str(root / name / "state")})
+    passed = sum(1 for s in scenarios if s["ok"])
+    report = {"schema": "repro-chaos/1",
+              "scenarios": scenarios,
+              "passed": passed,
+              "total": len(scenarios),
+              "ok": passed == len(scenarios)}
+    if owns_root and report["ok"]:
+        shutil.rmtree(root, ignore_errors=True)
+    return report

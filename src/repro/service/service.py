@@ -1,0 +1,779 @@
+"""The asyncio session service: durable queue, checkpoints, degradation.
+
+One :class:`SessionService` owns a state directory
+(:class:`~repro.service.jobs.ServicePaths`) and runs submitted session
+jobs to completion, surviving any crash:
+
+* Jobs arrive as atomic file drops in ``jobs/`` — written by
+  :func:`submit_job` (works with no service running) or by the running
+  service's :meth:`SessionService.submit`.
+* Sharded workers (plain asyncio tasks — sessions are CPU-bounded
+  slices, so cooperative stepping keeps the loop responsive without
+  threads) pull from bounded per-shard queues.  A full queue is
+  *backpressure*: spooled jobs simply wait on disk; in-process submits
+  fail fast with :class:`~repro.errors.ServiceUnavailableError`.
+* Every job checkpoints periodically
+  (:class:`~repro.sim.runner.SessionRunner` documents), so a SIGKILL
+  at an arbitrary frame resumes — digest-verified — and produces a
+  summary byte-identical to an uninterrupted run.
+* Failures retry with exponential backoff up to ``max_attempts``, then
+  become structured failure records (the same
+  :func:`~repro.sim.batch.make_failure_record` shape the batch engine
+  writes).  Consecutive failures trip a circuit breaker that rejects
+  *new* jobs with structured records instead of queueing behind a
+  dying fleet.
+* SIGTERM/SIGINT drain gracefully: in-flight jobs checkpoint and park,
+  queued jobs stay durable on disk, the service exits 0.
+* Health/readiness snapshots (``health.json``, atomic) are fed by a
+  :class:`~repro.telemetry.metrics.MetricsRegistry`.
+
+Failure matrix and format reference: ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import pathlib
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import (
+    CheckpointError,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from ..ioutil import atomic_write_json
+from ..sim.batch import make_failure_record, summarize_result
+from ..sim.runner import SessionRunner, resume_from_file
+from ..telemetry.metrics import MetricsRegistry
+from .breaker import BreakerState, CircuitBreaker
+from .jobs import (
+    JobRequest,
+    JobStatus,
+    ServicePaths,
+    load_job_file,
+    load_result,
+    write_result,
+)
+from .journal import Journal, read_journal
+
+PathLike = Union[str, pathlib.Path]
+
+#: Health snapshot schema tag.
+HEALTH_SCHEMA = "repro-health/1"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`SessionService`.
+
+    Defaults favour correctness over throughput; the chaos harness and
+    tests shrink the periods to provoke races quickly.
+
+    ``slice_s`` is *simulation* seconds advanced per cooperative step;
+    ``slice_sleep_s`` is *wall* seconds slept between steps (0 runs
+    flat out — raise it to pace execution, e.g. so a chaos kill lands
+    mid-job deterministically).  ``checkpoint_period_s`` is simulation
+    seconds of progress between checkpoint writes.
+    """
+
+    state_dir: str
+    workers: int = 2
+    shards: int = 1
+    queue_capacity: int = 16
+    slice_s: float = 1.0
+    slice_sleep_s: float = 0.0
+    checkpoint_period_s: float = 5.0
+    max_slice_events: int = 5_000_000
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    default_deadline_s: Optional[float] = None
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 30.0
+    poll_period_s: float = 0.05
+    health_period_s: float = 0.25
+    fsync_journal: bool = True
+    until_idle: bool = False
+    max_runtime_s: Optional[float] = None
+    drain_grace_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name, minimum in (("workers", 1), ("shards", 1),
+                              ("queue_capacity", 1),
+                              ("max_attempts", 1),
+                              ("max_slice_events", 1),
+                              ("breaker_threshold", 1)):
+            if getattr(self, name) < minimum:
+                raise ServiceError(
+                    f"{name} must be >= {minimum}, got "
+                    f"{getattr(self, name)}",
+                    context={"subsystem": "service", "field": name})
+        for name in ("slice_s", "checkpoint_period_s",
+                     "poll_period_s", "health_period_s",
+                     "breaker_cooldown_s"):
+            if getattr(self, name) <= 0:
+                raise ServiceError(
+                    f"{name} must be > 0, got {getattr(self, name)}",
+                    context={"subsystem": "service", "field": name})
+        if self.shards > self.workers:
+            raise ServiceError(
+                f"shards ({self.shards}) cannot exceed workers "
+                f"({self.workers})",
+                context={"subsystem": "service", "field": "shards"})
+
+
+def backoff_delay_s(attempt: int, base_s: float,
+                    max_s: float) -> float:
+    """Deterministic exponential backoff: ``base * 2^(attempt-1)``,
+    capped.  No jitter — reproducibility beats thundering-herd
+    avoidance at this scale, and tests stay deterministic."""
+    return min(max_s, base_s * (2.0 ** max(0, attempt - 1)))
+
+
+def job_id_for_spec(spec_document: Dict[str, Any]) -> str:
+    """Content-addressed default job id for a spec document."""
+    payload = json.dumps(spec_document, sort_keys=True).encode("utf-8")
+    return "job-" + hashlib.sha256(payload).hexdigest()[:16]
+
+
+def submit_job(state_dir: PathLike, job: JobRequest) -> pathlib.Path:
+    """Spool one job into a state directory (no service required).
+
+    The drop is a single atomic rename, so a service scanning ``jobs/``
+    can never observe a half-written job.  Duplicate ids are refused —
+    results are keyed by id, and silently replacing a job would make
+    "which spec does this result describe?" ambiguous.
+    """
+    paths = ServicePaths(state_dir).ensure()
+    job_path = paths.job_path(job.job_id)
+    if job_path.exists():
+        raise ServiceError(
+            f"job {job.job_id!r} is already submitted",
+            context={"subsystem": "service", "job_id": job.job_id})
+    if paths.result_path(job.job_id).exists():
+        raise ServiceError(
+            f"job {job.job_id!r} already has a result; pick a new id",
+            context={"subsystem": "service", "job_id": job.job_id})
+    return atomic_write_json(job_path, job.to_json_dict())
+
+
+def next_submit_seq(state_dir: PathLike) -> int:
+    """1 + the highest ``submitted_seq`` spooled so far."""
+    paths = ServicePaths(state_dir)
+    highest = -1
+    for path in paths.list_jobs():
+        try:
+            job = load_job_file(path)
+        except ServiceError:
+            continue
+        highest = max(highest, job.submitted_seq)
+    return highest + 1
+
+
+@dataclass
+class _Shard:
+    """One worker pool: a bounded queue plus its worker tasks."""
+
+    index: int
+    queue: "asyncio.Queue[JobRequest]"
+    workers: List["asyncio.Task"] = field(default_factory=list)
+
+
+class SessionService:
+    """The durable session service.  One instance per state directory.
+
+    Construct, then ``asyncio.run(service.serve())`` (or let the
+    ``repro serve`` CLI do it).  All mutation happens on the event
+    loop; no locks.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.paths = ServicePaths(config.state_dir)
+        self.metrics = MetricsRegistry()
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_threshold,
+            cooldown_s=config.breaker_cooldown_s)
+        self.journal: Optional[Journal] = None
+        self._shards: List[_Shard] = []
+        self._known: Dict[str, str] = {}
+        self._pending: List[JobRequest] = []
+        self._in_flight: int = 0
+        self._draining = False
+        self._stop_requested = False
+        self._drain_then_exit = False
+        self._journal_damage: Dict[str, Any] = {"torn_tail": False,
+                                                "bad_lines": 0}
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return (sum(shard.queue.qsize() for shard in self._shards)
+                + len(self._pending))
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def _terminal_count(self, *statuses: str) -> int:
+        wanted = statuses or JobStatus.TERMINAL
+        return sum(1 for status in self._known.values()
+                   if status in wanted)
+
+    def _all_terminal(self) -> bool:
+        return (not self._pending and self._in_flight == 0
+                and all(status in JobStatus.TERMINAL
+                        for status in self._known.values()))
+
+    # ------------------------------------------------------------------
+    # Submission (in-process)
+    # ------------------------------------------------------------------
+    def submit(self, job: JobRequest) -> None:
+        """Submit to the *running* service; sheds instead of blocking.
+
+        Raises :class:`~repro.errors.ServiceUnavailableError` when the
+        breaker is open or every shard queue is full — the caller gets
+        a structured rejection now rather than an unbounded wait.  On
+        success the job is spooled durably and enqueued.
+        """
+        if self._draining:
+            raise ServiceUnavailableError(
+                "service is draining; submit after restart",
+                context=self._unavailable_context(job.job_id))
+        if not self.breaker.allow():
+            self._count("service.jobs_rejected")
+            raise ServiceUnavailableError(
+                f"circuit breaker is {self.breaker.state}; job "
+                f"{job.job_id!r} shed",
+                context=self._unavailable_context(job.job_id))
+        shard = self._shard_for(job.job_id)
+        if shard.queue.full():
+            self._count("service.jobs_rejected")
+            raise ServiceUnavailableError(
+                f"shard {shard.index} queue is full "
+                f"(capacity {self.config.queue_capacity}); job "
+                f"{job.job_id!r} shed",
+                context=self._unavailable_context(job.job_id))
+        submit_job(self.config.state_dir, job)
+        self._admit(job, shard)
+
+    def _unavailable_context(self, job_id: str) -> Dict[str, Any]:
+        return {"subsystem": "service", "job_id": job_id,
+                "breaker": self.breaker.as_dict(),
+                "queue_depth": self.queue_depth,
+                "queue_capacity": self.config.queue_capacity}
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    async def serve(self) -> Dict[str, Any]:
+        """Run until stopped; returns a final status summary.
+
+        Exit conditions: SIGTERM/SIGINT (graceful park), a ``stop``
+        control marker, a ``drain`` marker once everything known is
+        terminal, ``until_idle`` once the backlog is empty, or
+        ``max_runtime_s``.
+        """
+        config = self.config
+        self.paths.ensure()
+        self.journal = Journal(self.paths.journal_path,
+                               fsync=config.fsync_journal)
+        self._started_at = time.monotonic()
+        self._install_signal_handlers()
+        self._journal_op("service_start", workers=config.workers,
+                         shards=config.shards)
+        self._recover()
+        workers_per_shard = max(1, config.workers // config.shards)
+        for index in range(config.shards):
+            shard = _Shard(index=index, queue=asyncio.Queue(
+                maxsize=config.queue_capacity))
+            shard.workers = [
+                asyncio.create_task(self._worker(shard))
+                for _ in range(workers_per_shard)]
+            self._shards.append(shard)
+        last_health = 0.0
+        try:
+            while True:
+                self._ingest_spool()
+                self._drain_pending()
+                self._check_control_markers()
+                now = time.monotonic()
+                if now - last_health >= config.health_period_s:
+                    self._write_health()
+                    last_health = now
+                if self._stop_requested:
+                    break
+                if self._drain_then_exit and self._all_terminal():
+                    break
+                if (config.until_idle and self._all_terminal()
+                        and not self._scan_new_job_files()):
+                    break
+                if (config.max_runtime_s is not None
+                        and now - self._started_at
+                        >= config.max_runtime_s):
+                    self._stop_requested = True
+                    continue
+                await asyncio.sleep(config.poll_period_s)
+        finally:
+            await self._shutdown()
+        return self.status_summary()
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                # Non-unix platforms / nested loops: rely on markers.
+                return
+
+    def request_shutdown(self) -> None:
+        """Graceful stop: park in-flight jobs, keep the queue on disk."""
+        self._draining = True
+        self._stop_requested = True
+
+    async def _shutdown(self) -> None:
+        self._draining = True
+        # Give in-flight jobs one drain-grace window to notice the
+        # flag at their next slice boundary and park with a checkpoint
+        # — cancelling first would lose the slice progress.
+        grace_deadline = time.monotonic() + self.config.drain_grace_s
+        while self._in_flight > 0 and \
+                time.monotonic() < grace_deadline:
+            await asyncio.sleep(self.config.poll_period_s)
+        for shard in self._shards:
+            for task in shard.workers:
+                task.cancel()
+        for shard in self._shards:
+            for task in shard.workers:
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._write_health(state="stopped")
+        self._journal_op("service_stop",
+                         done=self._terminal_count(JobStatus.DONE),
+                         failed=self._terminal_count(JobStatus.FAILED),
+                         rejected=self._terminal_count(
+                             JobStatus.REJECTED))
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
+
+    # ------------------------------------------------------------------
+    # Recovery + ingest
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild in-memory state from disk after a (possibly dirty)
+        start.  Results are authoritative; the journal only reports
+        damage and history."""
+        state = read_journal(self.paths.journal_path)
+        self._journal_damage = {"torn_tail": state.torn_tail,
+                                "bad_lines": state.bad_lines}
+        if state.torn_tail or state.bad_lines:
+            self._count("service.journal_torn_tail",
+                        int(state.torn_tail))
+            self._count("service.journal_bad_lines", state.bad_lines)
+            self._journal_op(
+                "recovery", torn_tail=state.torn_tail,
+                bad_lines=state.bad_lines,
+                note="journal damage tolerated; results directory is "
+                     "authoritative")
+        recovered = 0
+        for path in self.paths.list_jobs():
+            job_id = path.stem
+            result = load_result(self.paths, job_id)
+            if result is not None:
+                self._known[job_id] = result["status"]
+                recovered += 1
+        # Orphan checkpoints (job finished, crash before cleanup).
+        for path in sorted(
+                self.paths.checkpoints_dir.glob("*.json")):
+            if self.paths.result_path(path.stem).exists():
+                path.unlink(missing_ok=True)
+        if recovered:
+            self._journal_op("recovery", completed_jobs=recovered)
+
+    def _scan_new_job_files(self) -> List[pathlib.Path]:
+        return [path for path in self.paths.list_jobs()
+                if path.stem not in self._known]
+
+    def _ingest_spool(self) -> None:
+        """Pick up job files not yet known, in deterministic order."""
+        new_jobs: List[JobRequest] = []
+        for path in self._scan_new_job_files():
+            job_id = path.stem
+            result = load_result(self.paths, job_id)
+            if result is not None:
+                self._known[job_id] = result["status"]
+                continue
+            try:
+                job = load_job_file(path)
+            except ServiceError as exc:
+                self._terminalize(
+                    job_id=job_id, status=JobStatus.FAILED,
+                    error=exc, spec={}, attempts=0)
+                continue
+            if job.job_id != job_id:
+                self._terminalize(
+                    job_id=job_id, status=JobStatus.FAILED,
+                    error=ServiceError(
+                        f"job file {path.name} carries mismatched "
+                        f"job_id {job.job_id!r}",
+                        context={"subsystem": "service"}),
+                    spec=job.spec, attempts=0,
+                    submitted_seq=job.submitted_seq)
+                continue
+            new_jobs.append(job)
+        for job in sorted(new_jobs, key=JobRequest.sort_key):
+            if not self.breaker.allow():
+                self._count("service.jobs_rejected")
+                self._journal_op("job_rejected", job_id=job.job_id,
+                                 breaker=self.breaker.state)
+                self._terminalize(
+                    job_id=job.job_id,
+                    status=JobStatus.REJECTED,
+                    error=ServiceUnavailableError(
+                        f"circuit breaker is {self.breaker.state}; "
+                        f"job {job.job_id!r} shed",
+                        context=self._unavailable_context(job.job_id)),
+                    spec=job.spec, attempts=0, journal_failed=False,
+                    submitted_seq=job.submitted_seq)
+                continue
+            self._known[job.job_id] = JobStatus.PENDING
+            self._pending.append(job)
+            self._count("service.jobs_ingested")
+            self._journal_op("job_ingested", job_id=job.job_id,
+                             submitted_seq=job.submitted_seq)
+
+    def _drain_pending(self) -> None:
+        """Move pending jobs into shard queues as capacity allows."""
+        still_waiting: List[JobRequest] = []
+        for job in self._pending:
+            shard = self._shard_for(job.job_id)
+            if shard.queue.full():
+                still_waiting.append(job)
+                continue
+            shard.queue.put_nowait(job)
+        self._pending = still_waiting
+
+    def _admit(self, job: JobRequest, shard: _Shard) -> None:
+        self._known[job.job_id] = JobStatus.PENDING
+        self._count("service.jobs_ingested")
+        self._journal_op("job_ingested", job_id=job.job_id,
+                         submitted_seq=job.submitted_seq)
+        shard.queue.put_nowait(job)
+
+    def _shard_for(self, job_id: str) -> _Shard:
+        digest = hashlib.sha256(job_id.encode("utf-8")).digest()
+        index = int.from_bytes(digest[:4], "big") % max(
+            1, len(self._shards))
+        return self._shards[index]
+
+    def _check_control_markers(self) -> None:
+        if self.paths.stop_marker().exists():
+            self.paths.stop_marker().unlink(missing_ok=True)
+            self.request_shutdown()
+        if self.paths.drain_marker().exists():
+            self._drain_then_exit = True
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    async def _worker(self, shard: _Shard) -> None:
+        while True:
+            job = await shard.queue.get()
+            self._in_flight += 1
+            try:
+                await self._run_job(job)
+            finally:
+                self._in_flight -= 1
+                shard.queue.task_done()
+
+    async def _run_job(self, job: JobRequest) -> None:
+        config = self.config
+        self._known[job.job_id] = JobStatus.RUNNING
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, config.max_attempts + 1):
+            self._count("service.attempts")
+            self._journal_op("attempt_start", job_id=job.job_id,
+                             attempt=attempt)
+            try:
+                parked = await self._execute(job)
+            except asyncio.CancelledError:
+                # Hard cancel (shutdown while mid-slice): park what we
+                # can so restart resumes instead of recomputing.
+                self._known[job.job_id] = JobStatus.PENDING
+                raise
+            except Exception as exc:
+                last_error = exc
+                self._count("service.job_failures")
+                self.breaker.record_failure()
+                if self.breaker.state == BreakerState.OPEN:
+                    self._journal_op("breaker_open",
+                                     job_id=job.job_id,
+                                     trips=self.breaker.trips)
+                self._journal_op(
+                    "attempt_failed", job_id=job.job_id,
+                    attempt=attempt,
+                    error_type=type(exc).__name__,
+                    error_message=str(exc))
+                if attempt < config.max_attempts:
+                    self._count("service.retries")
+                    await asyncio.sleep(backoff_delay_s(
+                        attempt, config.backoff_base_s,
+                        config.backoff_max_s))
+                continue
+            if parked:
+                self._known[job.job_id] = JobStatus.PENDING
+                return
+            self.breaker.record_success()
+            return
+        assert last_error is not None
+        self._terminalize(job_id=job.job_id,
+                          status=JobStatus.FAILED, error=last_error,
+                          spec=job.spec,
+                          attempts=config.max_attempts,
+                          submitted_seq=job.submitted_seq)
+
+    async def _execute(self, job: JobRequest) -> bool:
+        """One attempt.  Returns True when the job *parked* (drain)."""
+        config = self.config
+        runner = self._build_runner(job)
+        deadline_s = job.deadline_s or config.default_deadline_s
+        deadline_at = (time.monotonic() + deadline_s
+                       if deadline_s is not None else None)
+        last_checkpoint_t = runner.now
+        while not runner.done:
+            if self._draining:
+                self._park(job, runner)
+                return True
+            if deadline_at is not None and \
+                    time.monotonic() > deadline_at:
+                raise TimeoutError(
+                    f"job {job.job_id!r} exceeded its deadline of "
+                    f"{deadline_s:.3f}s (sim time reached "
+                    f"{runner.now:.3f}s of {runner.duration_s:.3f}s)")
+            runner.advance(runner.now + config.slice_s,
+                           max_events=config.max_slice_events)
+            if (not runner.done and runner.now - last_checkpoint_t
+                    >= config.checkpoint_period_s):
+                runner.save_checkpoint(
+                    self.paths.checkpoint_path(job.job_id),
+                    job_id=job.job_id)
+                last_checkpoint_t = runner.now
+                self._count("service.checkpoints_written")
+                self._journal_op("checkpoint_written",
+                                 job_id=job.job_id,
+                                 sim_time_s=runner.now)
+            await asyncio.sleep(config.slice_sleep_s)
+        from ..analysis.export import json_sanitize
+
+        summary = json_sanitize(summarize_result(runner.finish()))
+        written = write_result(self.paths, job.job_id, JobStatus.DONE,
+                               {"summary": summary})
+        self._known[job.job_id] = JobStatus.DONE
+        if written is not None:
+            self._count("service.jobs_done")
+            self._journal_op("job_done", job_id=job.job_id,
+                             sim_time_s=runner.now)
+        self.paths.checkpoint_path(job.job_id).unlink(missing_ok=True)
+        return False
+
+    def _build_runner(self, job: JobRequest) -> SessionRunner:
+        """Resume from a valid checkpoint, else build from the spec.
+
+        An unusable checkpoint (torn write, garbage, digest mismatch)
+        is journaled, counted and deleted — the attempt restarts from
+        scratch, trading wall time for a guaranteed-correct result.
+        """
+        from ..pipeline.spec import SessionSpec
+
+        checkpoint_path = self.paths.checkpoint_path(job.job_id)
+        if checkpoint_path.exists():
+            try:
+                runner = resume_from_file(
+                    checkpoint_path,
+                    max_events=self.config.max_slice_events)
+            except CheckpointError as exc:
+                self._count("service.checkpoints_invalid")
+                self._journal_op(
+                    "checkpoint_invalid", job_id=job.job_id,
+                    error_type=type(exc).__name__,
+                    error_message=str(exc))
+                checkpoint_path.unlink(missing_ok=True)
+            else:
+                self._count("service.resumes")
+                self._journal_op("job_resumed", job_id=job.job_id,
+                                 sim_time_s=runner.now)
+                return runner
+        spec = SessionSpec.from_json_dict(job.spec)
+        return SessionRunner(spec.to_config())
+
+    def _park(self, job: JobRequest, runner: SessionRunner) -> None:
+        """Checkpoint an in-flight job for the next service start."""
+        try:
+            runner.save_checkpoint(
+                self.paths.checkpoint_path(job.job_id),
+                job_id=job.job_id)
+        except CheckpointError:
+            # Not spec-expressible (cannot happen for spooled jobs,
+            # which by construction came from a spec) — parking just
+            # means a from-scratch restart.
+            pass
+        self._count("service.jobs_parked")
+        self._journal_op("job_parked", job_id=job.job_id,
+                         sim_time_s=runner.now)
+
+    def _terminalize(self, *, job_id: str,
+                     status: str, error: BaseException,
+                     spec: Dict[str, Any], attempts: int,
+                     journal_failed: bool = True,
+                     submitted_seq: int = 0) -> None:
+        """Write a structured terminal failure/rejection result."""
+        record = make_failure_record(
+            index=submitted_seq,
+            config=spec if spec else {"app": "?"},
+            error=error, attempts=attempts)
+        record["job_id"] = job_id
+        written = write_result(self.paths, job_id, status,
+                               {"failure": record})
+        self._known[job_id] = status
+        if written is None:
+            return
+        if status == JobStatus.FAILED:
+            self._count("service.jobs_failed")
+            if journal_failed:
+                self._journal_op(
+                    "job_failed", job_id=job_id,
+                    error_type=record["error_type"],
+                    error_message=record["error_message"],
+                    attempts=attempts)
+
+    # ------------------------------------------------------------------
+    # Health + bookkeeping
+    # ------------------------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.metrics.counter(name).inc(amount)
+
+    def _journal_op(self, op: str, **fields: Any) -> None:
+        if self.journal is not None:
+            self.journal.append(op, **fields)
+
+    def status_summary(self) -> Dict[str, Any]:
+        """In-memory job/queue/breaker overview (also in health)."""
+        return {
+            "jobs": {
+                "known": len(self._known),
+                "pending": sum(
+                    1 for status in self._known.values()
+                    if status == JobStatus.PENDING),
+                "running": sum(
+                    1 for status in self._known.values()
+                    if status == JobStatus.RUNNING),
+                "done": self._terminal_count(JobStatus.DONE),
+                "failed": self._terminal_count(JobStatus.FAILED),
+                "rejected": self._terminal_count(JobStatus.REJECTED),
+            },
+            "queue_depth": self.queue_depth,
+            "in_flight": self._in_flight,
+            "breaker": self.breaker.as_dict(),
+            "journal": dict(self._journal_damage),
+        }
+
+    def _write_health(self, state: Optional[str] = None) -> None:
+        self.metrics.gauge("service.queue_depth").set(
+            self.queue_depth)
+        self.metrics.gauge("service.in_flight").set(self._in_flight)
+        document = {
+            "schema": HEALTH_SCHEMA,
+            "state": state or ("draining" if self._draining
+                               else "running"),
+            "ready": (not self._draining
+                      and self.breaker.state != BreakerState.OPEN),
+            **self.status_summary(),
+            "metrics": self.metrics.as_dict(),
+        }
+        atomic_write_json(self.paths.health_path, document)
+
+
+# ----------------------------------------------------------------------
+# Offline status (CLI `repro status` — no running service needed)
+# ----------------------------------------------------------------------
+def service_status(state_dir: PathLike) -> Dict[str, Any]:
+    """Status assembled from the state directory alone.
+
+    Job states derive from the durable artifacts: a result file is
+    terminal, a checkpoint without a result is ``parked``, a job file
+    with neither is ``pending``.  The latest ``health.json`` snapshot
+    (if any) rides along — it may be stale if no service is running.
+    """
+    paths = ServicePaths(state_dir)
+    if not paths.state_dir.is_dir():
+        raise ServiceError(
+            f"state directory {paths.state_dir} does not exist",
+            context={"subsystem": "service",
+                     "path": str(paths.state_dir)})
+    jobs: Dict[str, Dict[str, Any]] = {}
+    for path in paths.list_jobs():
+        job_id = path.stem
+        entry: Dict[str, Any] = {"job_id": job_id}
+        result = load_result(paths, job_id)
+        if result is not None:
+            entry["status"] = result["status"]
+            failure = result.get("failure")
+            if isinstance(failure, dict):
+                entry["error_type"] = failure.get("error_type")
+        elif paths.checkpoint_path(job_id).exists():
+            entry["status"] = "parked"
+        else:
+            entry["status"] = JobStatus.PENDING
+        jobs[job_id] = entry
+    health: Optional[Dict[str, Any]] = None
+    try:
+        health = json.loads(paths.health_path.read_text())
+    except (OSError, ValueError):
+        health = None
+    journal_state = read_journal(paths.journal_path)
+    return {
+        "state_dir": str(paths.state_dir),
+        "jobs": [jobs[job_id] for job_id in sorted(jobs)],
+        "counts": {
+            status: sum(1 for entry in jobs.values()
+                        if entry["status"] == status)
+            for status in ("pending", "parked", "done", "failed",
+                           "rejected")},
+        "journal": {"records": len(journal_state.records),
+                    "torn_tail": journal_state.torn_tail,
+                    "bad_lines": journal_state.bad_lines},
+        "health": health,
+    }
+
+
+def request_drain(state_dir: PathLike) -> pathlib.Path:
+    """Drop the drain marker: finish everything, then exit."""
+    paths = ServicePaths(state_dir).ensure()
+    marker = paths.drain_marker()
+    marker.touch()
+    return marker
+
+
+def request_stop(state_dir: PathLike) -> pathlib.Path:
+    """Drop the stop marker: park in-flight jobs and exit now."""
+    paths = ServicePaths(state_dir).ensure()
+    marker = paths.stop_marker()
+    marker.touch()
+    return marker

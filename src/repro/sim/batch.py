@@ -109,8 +109,13 @@ MP_CONTEXT_CHOICES = ("spawn", "fork", "forkserver")
 _POOL_PROBE_TIMEOUT_S = 60.0
 
 
-def _summarize(result) -> Dict:
-    """Plain-data summary of one finished session (summary + traces)."""
+def summarize_result(result) -> Dict:
+    """Plain-data summary of one finished session (summary + traces).
+
+    The batch runner's per-session wire form, shared with the session
+    service (``repro.service``) so a job completed by a worker pool and
+    a job completed by the service serialize identically.
+    """
     summary = session_summary_dict(result)
     centers, power = result.power_trace(bin_width_s=1.0)
     _, content = result.meaningful_compositions.binned_rate(
@@ -121,6 +126,10 @@ def _summarize(result) -> Dict:
         "content_fps": content.tolist(),
     }
     return summary
+
+
+#: Backwards-compatible private alias (pre-service name).
+_summarize = summarize_result
 
 
 def run_session_summary(config: SessionConfig) -> Dict:
@@ -702,11 +711,15 @@ def _shutdown(executor: ProcessPoolExecutor, force: bool) -> None:
 
 
 def _write_stream(stream_path, payloads: Sequence[Dict]) -> pathlib.Path:
-    """Write the batch's interleaved telemetry stream as JSONL."""
+    """Write the batch's interleaved telemetry stream as JSONL.
+
+    Atomic (temp file + rename): an interrupt mid-write never leaves a
+    truncated stream at the destination path.
+    """
+    from ..ioutil import atomic_write_text
+
     events = interleave_streams([payload["events"]
                                  for payload in payloads])
-    path = pathlib.Path(stream_path)
-    with path.open("w") as handle:
-        for event in events:
-            handle.write(json.dumps(event, sort_keys=True) + "\n")
-    return path
+    lines = [json.dumps(event, sort_keys=True) for event in events]
+    text = "".join(line + "\n" for line in lines)
+    return atomic_write_text(pathlib.Path(stream_path), text)

@@ -142,22 +142,38 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_until(self, end_time: float) -> None:
+    def run_until(self, end_time: float,
+                  max_events: Optional[int] = None) -> int:
         """Fire events in order until the queue is exhausted or the next
         event lies strictly after ``end_time``; then set ``now`` to
-        ``end_time``.
+        ``end_time``.  Returns the number of events fired.
 
         The final clock jump means integrators (e.g. the power meter)
         can rely on ``sim.now == end_time`` when the session finishes.
+
+        ``max_events`` bounds one call: when the limit is reached with
+        eligible events still queued, the call returns early and ``now``
+        stays at the last fired event's time (the clock does **not**
+        jump to ``end_time``), so a caller stepping the simulation in
+        slices can detect the incomplete slice (``sim.now < end_time``)
+        and decide whether that is an event storm.  Calling
+        ``run_until`` again with the same ``end_time`` resumes exactly
+        where the previous call stopped — event order is owned by the
+        heap, not by call boundaries.
         """
         if end_time < self._now:
             raise SimulationError(
                 f"end_time {end_time:.6f} is before now {self._now:.6f}")
+        if max_events is not None:
+            ensure_positive(max_events, "max_events")
         if self._running:
             raise SimulationError("run_until called re-entrantly")
         self._running = True
+        fired = 0
         try:
             while self._queue and self._queue[0][0] <= end_time:
+                if max_events is not None and fired >= max_events:
+                    return fired
                 time, _, handle = heapq.heappop(self._queue)
                 if handle._cancelled:
                     continue
@@ -165,9 +181,11 @@ class Simulator:
                 handle._fired = True
                 self._processed += 1
                 handle._callback(self)
+                fired += 1
             self._now = end_time
         finally:
             self._running = False
+        return fired
 
     def run(self, max_events: int = 10_000_000) -> None:
         """Fire events until the queue empties.

@@ -14,6 +14,7 @@ from collections import deque
 from typing import Deque, Optional, Tuple, Union
 
 from ..errors import TelemetryError
+from ..ioutil import replace_into_place
 from .events import TelemetryEvent
 
 PathLike = Union[str, pathlib.Path]
@@ -120,11 +121,19 @@ class JsonlSink(TelemetrySink):
     Lines follow the version-1 schema of
     :meth:`TelemetryEvent.to_json_dict`; keys are sorted so identical
     event streams serialize identically.
+
+    Crash-safe: events stream into a sibling temporary file which is
+    atomically renamed over ``path`` on :meth:`close`.  A session that
+    dies mid-run leaves the previous complete stream (or nothing) at
+    the destination, never a truncated one; the orphaned ``.tmp`` file
+    survives for post-mortem inspection.
     """
 
     def __init__(self, path: PathLike) -> None:
         self.path = pathlib.Path(path)
-        self._handle: Optional[object] = self.path.open("w")
+        self._tmp_path = self.path.with_name(
+            self.path.name + ".inflight.tmp")
+        self._handle: Optional[object] = self._tmp_path.open("w")
         self._written = 0
 
     @property
@@ -144,5 +153,6 @@ class JsonlSink(TelemetrySink):
 
     def close(self) -> None:
         if self._handle is not None:
-            self._handle.close()
+            self._handle.close()  # type: ignore[attr-defined]
             self._handle = None
+            replace_into_place(self._tmp_path, self.path)

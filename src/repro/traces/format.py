@@ -50,6 +50,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import TraceError
+from ..ioutil import atomic_write_bytes
 
 #: Identifies the trace document layout; bump on breaking changes.
 TRACE_SCHEMA = "repro-trace/1"
@@ -416,7 +417,9 @@ def save_trace(trace: FrameTrace, path: PathLike) -> pathlib.Path:
         chunks.append(record.payload)
     path = pathlib.Path(path)
     try:
-        path.write_bytes(b"".join(chunks))
+        # Atomic: a crash mid-write must never leave a torn trace at
+        # the destination (the reader treats truncation as corruption).
+        atomic_write_bytes(path, b"".join(chunks))
     except OSError as exc:
         raise TraceError(f"cannot write trace {path}: {exc}") from None
     return path

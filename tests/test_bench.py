@@ -134,3 +134,99 @@ class TestCli:
         assert main(["bench", "--fast", "--workers", "1",
                      "--check", str(baseline)]) == 1
         assert "bench gate: FAIL" in capsys.readouterr().err
+
+
+class TestCoreAwareGate:
+    """The parallel metrics only gate when the cores back them up."""
+
+    def _docs(self, base_cores, cur_cores, speedup=0.25):
+        baseline = _document(batch32_speedup_x=4.0,
+                             batch32_workersN_s=1.0)
+        baseline["cpu_count"] = base_cores
+        current = _document(batch32_speedup_x=speedup,
+                            batch32_workersN_s=100.0)
+        current["cpu_count"] = cur_cores
+        return current, baseline
+
+    def test_single_core_baseline_gates_nothing_parallel(self):
+        from repro.bench import gate_skips
+        current, baseline = self._docs(base_cores=1, cur_cores=8)
+        assert compare_bench(current, baseline) == []
+        skips = {s["metric"] for s in gate_skips(current, baseline)}
+        assert skips == {"batch32_workersN_s", "batch32_speedup_x"}
+
+    def test_core_downgrade_skips_parallel_metrics(self):
+        current, baseline = self._docs(base_cores=8, cur_cores=1)
+        assert compare_bench(current, baseline) == []
+
+    def test_enough_cores_still_gate(self):
+        current, baseline = self._docs(base_cores=4, cur_cores=4)
+        regressed = {r["metric"] for r in
+                     compare_bench(current, baseline)}
+        assert "batch32_speedup_x" in regressed
+        assert "batch32_workersN_s" in regressed
+
+    def test_serial_metrics_always_gate(self):
+        current, baseline = self._docs(base_cores=1, cur_cores=1)
+        current["metrics"]["native_session_s"]["value"] = 1e6
+        regressed = {r["metric"] for r in
+                     compare_bench(current, baseline)}
+        assert regressed == {"native_session_s"}
+
+
+class TestPerMetricThresholds:
+    def test_override_loosens_one_metric_only(self):
+        baseline = _document()
+        current = _document(native_session_s=1.5,
+                            trace_replay_s=1.5)
+        loose = compare_bench(
+            current, baseline,
+            metric_thresholds={"native_session_s": 0.6,
+                               "trace_replay_s": 0.6})
+        assert loose == []
+        strict = {r["metric"] for r in compare_bench(current, baseline)}
+        assert strict == {"native_session_s", "trace_replay_s"}
+
+    def test_override_can_tighten(self):
+        baseline = _document()
+        current = _document(native_session_s=1.1)
+        regressed = compare_bench(
+            current, baseline,
+            metric_thresholds={"native_session_s": 0.05})
+        assert [r["metric"] for r in regressed] == ["native_session_s"]
+
+    def test_bad_override_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_bench(_document(), _document(),
+                          metric_thresholds={"native_session_s": 0.0})
+
+    def test_cli_metric_threshold_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        baseline_path = tmp_path / "baseline.json"
+        document = run_bench(workers=1, fast=True)
+        write_bench(document, baseline_path)
+        # Shrink one serial metric in the baseline so it regresses by
+        # ~1000x, far beyond any timing noise; the default threshold is
+        # kept huge so every other metric passes regardless of load.
+        loaded = load_bench(baseline_path)
+        loaded["metrics"]["meter_compare_9k_s"]["value"] /= 1000.0
+        write_bench(loaded, baseline_path)
+        assert main(["bench", "--fast", "--workers", "1",
+                     "--threshold", "50.0",
+                     "--check", str(baseline_path)]) == 1
+        assert "bench gate: FAIL" in capsys.readouterr().err
+        assert main(["bench", "--fast", "--workers", "1",
+                     "--threshold", "50.0",
+                     "--check", str(baseline_path),
+                     "--metric-threshold",
+                     "meter_compare_9k_s=10000.0"]) == 0
+        assert "bench gate: OK" in capsys.readouterr().err
+
+    def test_cli_rejects_malformed_override(self, tmp_path):
+        from repro.cli import main
+        baseline_path = tmp_path / "baseline.json"
+        write_bench(run_bench(workers=1, fast=True), baseline_path)
+        with pytest.raises(SystemExit):
+            main(["bench", "--fast", "--workers", "1",
+                  "--check", str(baseline_path),
+                  "--metric-threshold", "nonsense"])

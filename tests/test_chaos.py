@@ -1,0 +1,197 @@
+"""Chaos tests: induced crashes must salvage, never corrupt.
+
+Three layers:
+
+* the batch pool — a worker SIGKILLed mid-batch costs exactly its own
+  config; the survivors' results stay byte-identical to a serial run
+  (the merge is deterministic even through a crash);
+* the damage helpers in `repro.service.chaos` — every corruption mode
+  actually renders a checkpoint unusable, and a torn journal still
+  reads;
+* an in-process service recovery — a corrupted checkpoint is detected
+  (``checkpoint_invalid``), discarded, and the job restarted from
+  scratch with a byte-identical summary.
+
+The full subprocess chaos campaign (SIGKILL of a live ``repro serve``)
+runs as ``repro chaos`` in CI's service-smoke job; these tests keep
+the pieces honest at unit speed.
+
+Process-pool tests use ``fork`` so the parent's monkeypatches reach
+the workers (spawn re-imports the module pristine).
+"""
+
+import json
+import os
+import signal
+
+import pytest
+
+import repro.sim.batch as batch
+from repro.errors import CheckpointError, ServiceError
+from repro.ioutil import read_jsonl
+from repro.pipeline.spec import SessionSpec
+from repro.service import (
+    JobRequest,
+    JobStatus,
+    Journal,
+    ServicePaths,
+    read_journal,
+    submit_job,
+)
+from repro.service.chaos import (
+    CHAOS_SCENARIOS,
+    ChaosConfig,
+    corrupt_checkpoint,
+    truncate_journal_tail,
+)
+from repro.service.jobs import load_result
+from repro.sim.batch import (
+    batch_failure_summary,
+    is_failure_record,
+    run_batch,
+)
+from repro.sim.runner import SessionRunner, load_checkpoint
+from repro.sim.session import SessionConfig
+
+
+def _configs(n=4, duration_s=2.0):
+    return [SessionConfig(app="Jelly Splash", governor="section+boost",
+                          duration_s=duration_s, seed=i)
+            for i in range(n)]
+
+
+_REAL_PAYLOAD = batch._session_payload
+
+
+def _sigkill_seed_99(config, capture):
+    # A real SIGKILL (not a clean exit): the kernel tears the worker
+    # down with no Python cleanup, the hardest crash the pool can see.
+    if config.seed == 99:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _REAL_PAYLOAD(config, capture)
+
+
+class TestPooledWorkerSigkill:
+    def test_sigkill_mid_batch_salvages_survivors(self, monkeypatch):
+        monkeypatch.setattr(batch, "_session_payload",
+                            _sigkill_seed_99)
+        configs = _configs()
+        victim = configs[1]
+        configs[1] = SessionConfig(
+            app=victim.app, governor=victim.governor,
+            duration_s=victim.duration_s, seed=99)
+        results = run_batch(configs, workers=2, mp_context="fork",
+                            chunksize=1)
+        assert [is_failure_record(r) for r in results] == \
+            [False, True, False, False]
+        record = results[1]
+        assert record["error_type"] == "WorkerCrashError"
+        assert record["config_index"] == 1
+        summary = batch_failure_summary(results)
+        assert summary["counters"]["batch.worker_crashes"] == 1
+        # Survivors are byte-identical to an uncontested serial run —
+        # the crash must not perturb the deterministic merge.
+        innocents = [configs[0], configs[2], configs[3]]
+        serial = run_batch(innocents, workers=1)
+        survivors = [results[0], results[2], results[3]]
+        assert json.dumps(survivors, sort_keys=True) == \
+            json.dumps(serial, sort_keys=True)
+
+
+class TestDamageHelpers:
+    def _checkpoint(self, tmp_path):
+        runner = SessionRunner(_configs(n=1)[0])
+        runner.advance(0.5)
+        path = tmp_path / "ckpt.json"
+        runner.save_checkpoint(path, job_id="j1")
+        return path
+
+    @pytest.mark.parametrize("mode",
+                             ["truncate", "garbage", "digest"])
+    def test_every_corruption_mode_is_detected(self, tmp_path, mode):
+        path = self._checkpoint(tmp_path)
+        corrupt_checkpoint(path, mode, seed=3)
+        if mode == "digest":
+            # Structurally valid JSON: the lie only surfaces when the
+            # replayed state digest is compared.
+            from repro.sim.runner import resume_runner
+            with pytest.raises(CheckpointError):
+                resume_runner(load_checkpoint(path))
+        else:
+            with pytest.raises(CheckpointError):
+                load_checkpoint(path)
+
+    def test_unknown_corruption_mode_rejected(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        with pytest.raises(ServiceError):
+            corrupt_checkpoint(path, "gamma_rays")
+
+    def test_truncate_journal_tail_tears_last_record(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path, fsync=False)
+        journal.append("service_start")
+        journal.append("job_ingested", job_id="j1")
+        journal.close()
+        assert truncate_journal_tail(path)
+        raw = read_jsonl(path)
+        assert raw.damaged
+        assert [r["op"] for r in raw.records] == ["service_start"]
+
+    def test_truncate_missing_journal_is_noop(self, tmp_path):
+        assert not truncate_journal_tail(tmp_path / "absent.jsonl")
+
+
+class TestChaosConfigValidation:
+    def test_defaults_cover_all_scenarios(self):
+        assert ChaosConfig().scenarios == CHAOS_SCENARIOS
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ServiceError):
+            ChaosConfig(scenarios=("kill", "meteor"))
+
+    def test_empty_scenarios_rejected(self):
+        with pytest.raises(ServiceError):
+            ChaosConfig(scenarios=())
+
+    def test_bad_job_count_rejected(self):
+        with pytest.raises(ServiceError):
+            ChaosConfig(jobs=0)
+
+
+class TestServiceRecoversFromCorruptCheckpoint:
+    def test_corrupt_checkpoint_restarts_job_from_scratch(
+            self, tmp_path):
+        import asyncio
+
+        from repro.analysis.export import json_sanitize
+        from repro.service import ServiceConfig, SessionService
+        from repro.sim.batch import summarize_result
+        from repro.sim.session import run_session
+
+        config = _configs(n=1, duration_s=2.0)[0]
+        spec = SessionSpec.from_config(config)
+        submit_job(tmp_path, JobRequest(
+            job_id="hurt", spec=spec.to_json_dict(),
+            deadline_s=None, submitted_seq=0))
+        # Plant a corrupted checkpoint where the service will look.
+        paths = ServicePaths(tmp_path).ensure()
+        runner = SessionRunner(config)
+        runner.advance(1.0)
+        runner.save_checkpoint(paths.checkpoint_path("hurt"),
+                               job_id="hurt")
+        corrupt_checkpoint(paths.checkpoint_path("hurt"), "garbage",
+                           seed=1)
+
+        service = SessionService(ServiceConfig(
+            state_dir=str(tmp_path), workers=1, slice_sleep_s=0.0,
+            fsync_journal=False, until_idle=True, max_runtime_s=60.0))
+        asyncio.run(service.serve())
+
+        result = load_result(paths, "hurt")
+        assert result["status"] == JobStatus.DONE
+        expected = json_sanitize(summarize_result(run_session(config)))
+        assert json.dumps(result["summary"], sort_keys=True) == \
+            json.dumps(expected, sort_keys=True)
+        journal = read_journal(paths.journal_path)
+        assert journal.count("checkpoint_invalid", job_id="hurt") == 1
+        assert journal.count("job_done", job_id="hurt") == 1

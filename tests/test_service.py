@@ -1,0 +1,528 @@
+"""Tests for the durable session service (`repro.service`).
+
+Covers the building blocks bottom-up — atomic writes and tolerant
+JSONL reads (`repro.ioutil`), the append-only journal, the circuit
+breaker — then the service itself run in-process with ``until_idle``:
+correct byte-identical summaries, structured failure records, retry
+exhaustion, breaker shedding, deadlines, park-on-shutdown and resume.
+
+Byte-identity assertions always compare against an uninterrupted
+in-process :func:`run_session` of the same spec; configs stay
+untelemetered because telemetry spans carry wall-clock time.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.analysis.export import json_sanitize
+from repro.errors import (
+    JournalError,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from repro.ioutil import (
+    append_jsonl_line,
+    atomic_write_json,
+    atomic_write_text,
+    read_jsonl,
+)
+from repro.pipeline.spec import SessionSpec
+from repro.service import (
+    BreakerState,
+    CircuitBreaker,
+    JobRequest,
+    JobStatus,
+    Journal,
+    ServiceConfig,
+    ServicePaths,
+    SessionService,
+    read_journal,
+    submit_job,
+)
+from repro.service.jobs import load_result, write_result
+from repro.service.service import (
+    backoff_delay_s,
+    job_id_for_spec,
+    next_submit_seq,
+    request_drain,
+    request_stop,
+    service_status,
+)
+from repro.sim.batch import summarize_result
+from repro.sim.session import SessionConfig, run_session
+
+
+def _spec(app="Jelly Splash", duration_s=2.0, seed=0, **kw):
+    return SessionSpec.from_config(SessionConfig(
+        app=app, governor="section+boost", duration_s=duration_s,
+        seed=seed, **kw))
+
+
+def _job(job_id, spec, seq=0, deadline_s=None):
+    return JobRequest(job_id=job_id, spec=spec.to_json_dict(),
+                      deadline_s=deadline_s, submitted_seq=seq)
+
+
+def _expected_summary_bytes(spec):
+    summary = json_sanitize(summarize_result(run_session(spec.to_config())))
+    return json.dumps(summary, sort_keys=True)
+
+
+def _serve(state_dir, **overrides):
+    """Run a service in-process until idle; returns its exit summary."""
+    defaults = dict(state_dir=str(state_dir), workers=2,
+                    slice_sleep_s=0.0, fsync_journal=False,
+                    until_idle=True, max_runtime_s=120.0)
+    defaults.update(overrides)
+    service = SessionService(ServiceConfig(**defaults))
+    return asyncio.run(service.serve())
+
+
+# ----------------------------------------------------------------------
+# ioutil
+# ----------------------------------------------------------------------
+
+class TestAtomicWrites:
+    def test_atomic_json_round_trip(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"a": 1, "b": [2, 3]})
+        assert json.loads(path.read_text()) == {"a": 1, "b": [2, 3]}
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "x.txt", "hello")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.txt"]
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        assert json.loads(path.read_text()) == {"v": 2}
+
+    def test_nan_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            atomic_write_json(tmp_path / "bad.json", {"x": float("nan")})
+
+
+class TestJsonlReader:
+    def test_missing_file_is_empty(self, tmp_path):
+        result = read_jsonl(tmp_path / "nope.jsonl")
+        assert result.records == []
+        assert not result.damaged
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with path.open("a") as handle:
+            append_jsonl_line(handle, {"n": 1}, fsync=False)
+            append_jsonl_line(handle, {"n": 2}, fsync=False)
+        result = read_jsonl(path)
+        assert [r["n"] for r in result.records] == [1, 2]
+        assert not result.damaged
+
+    def test_torn_tail_detected_and_tolerated(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"n": 1}\n{"n": 2}\n{"n": 3')
+        result = read_jsonl(path)
+        assert [r["n"] for r in result.records] == [1, 2]
+        assert result.torn_tail
+        assert result.damaged
+
+    def test_missing_trailing_newline_counts_as_torn(self, tmp_path):
+        # A decoded record whose newline never hit disk is kept (the
+        # content survived) but the tail is still flagged as torn.
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"n": 1}\n{"n": 2}')
+        result = read_jsonl(path)
+        assert [r["n"] for r in result.records] == [1, 2]
+        assert result.torn_tail
+
+    def test_mid_file_garbage_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"n": 1}\nGARBAGE\n{"n": 3}\n')
+        result = read_jsonl(path)
+        assert [r["n"] for r in result.records] == [1, 3]
+        assert result.bad_lines == 1
+        assert result.bad_line_numbers == [2]
+        assert not result.torn_tail
+
+
+# ----------------------------------------------------------------------
+# Journal
+# ----------------------------------------------------------------------
+
+class TestJournal:
+    def test_append_and_read(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path, fsync=False)
+        journal.append("service_start", workers=2)
+        journal.append("job_ingested", job_id="j1")
+        journal.close()
+        state = read_journal(path)
+        assert state.count("service_start") == 1
+        assert state.count("job_ingested", job_id="j1") == 1
+        assert [r["seq"] for r in state.records] == [0, 1]
+
+    def test_seq_continues_across_incarnations(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        first = Journal(path, fsync=False)
+        first.append("service_start")
+        first.close()
+        second = Journal(path, fsync=False)
+        record = second.append("service_start")
+        second.close()
+        assert record["seq"] == 1
+
+    def test_unknown_op_rejected(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl", fsync=False)
+        with pytest.raises(JournalError):
+            journal.append("not_a_real_op")
+        journal.close()
+
+    def test_torn_tail_does_not_lose_prior_records(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path, fsync=False)
+        journal.append("service_start")
+        journal.append("job_ingested", job_id="j1")
+        journal.close()
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        state = read_journal(path)
+        assert state.count("service_start") == 1
+        assert state.damage.damaged
+
+    def test_ops_for_filters_by_job(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path, fsync=False)
+        journal.append("job_ingested", job_id="a")
+        journal.append("job_ingested", job_id="b")
+        journal.append("job_done", job_id="a")
+        journal.close()
+        state = read_journal(path)
+        assert [r["op"] for r in state.ops_for("a")] == \
+            ["job_ingested", "job_done"]
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=10.0,
+                                 clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2,
+                                 clock=_FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_half_open_allows_one_probe(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 5.1
+        assert breaker.state == BreakerState.HALF_OPEN
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now = 6.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now = 6.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.trips == 2
+
+
+# ----------------------------------------------------------------------
+# Jobs, results, spool
+# ----------------------------------------------------------------------
+
+class TestJobsAndResults:
+    def test_job_request_round_trip(self):
+        job = _job("j1", _spec(), seq=3, deadline_s=9.0)
+        assert JobRequest.from_json_dict(job.to_json_dict()) == job
+
+    def test_unknown_key_rejected(self):
+        doc = _job("j1", _spec()).to_json_dict()
+        doc["surprise"] = True
+        with pytest.raises(ServiceError):
+            JobRequest.from_json_dict(doc)
+
+    def test_bad_job_id_rejected(self):
+        for bad in ("", ".hidden", "a/b", "x" * 101):
+            with pytest.raises(ServiceError):
+                _job(bad, _spec())
+
+    def test_write_result_is_write_once(self, tmp_path):
+        paths = ServicePaths(tmp_path).ensure()
+        first = write_result(paths, "j1", JobStatus.DONE,
+                             {"summary": {"v": 1}})
+        second = write_result(paths, "j1", JobStatus.FAILED,
+                              {"failure": {}})
+        assert first is not None
+        assert second is None
+        assert load_result(paths, "j1")["summary"] == {"v": 1}
+
+    def test_corrupt_result_raises(self, tmp_path):
+        paths = ServicePaths(tmp_path).ensure()
+        paths.result_path("j1").write_text("{broken")
+        with pytest.raises(ServiceError):
+            load_result(paths, "j1")
+
+    def test_submit_refuses_duplicates(self, tmp_path):
+        job = _job("dup", _spec())
+        submit_job(tmp_path, job)
+        with pytest.raises(ServiceError):
+            submit_job(tmp_path, job)
+
+    def test_submit_refuses_finished_job_id(self, tmp_path):
+        paths = ServicePaths(tmp_path).ensure()
+        write_result(paths, "done-job", JobStatus.DONE,
+                     {"summary": {}})
+        with pytest.raises(ServiceError):
+            submit_job(tmp_path, _job("done-job", _spec()))
+
+    def test_submit_seq_monotonic(self, tmp_path):
+        assert next_submit_seq(tmp_path) == 0
+        submit_job(tmp_path, _job("a", _spec(), seq=0))
+        assert next_submit_seq(tmp_path) == 1
+
+    def test_job_id_for_spec_is_content_addressed(self):
+        spec = _spec()
+        a = job_id_for_spec(spec.to_json_dict())
+        b = job_id_for_spec(spec.to_json_dict())
+        c = job_id_for_spec(_spec(seed=7).to_json_dict())
+        assert a == b
+        assert a != c
+        assert a.startswith("job-")
+
+    def test_backoff_is_exponential_and_capped(self):
+        delays = [backoff_delay_s(n, 0.1, 1.0) for n in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.8, 1.0]
+
+
+# ----------------------------------------------------------------------
+# The service, in process
+# ----------------------------------------------------------------------
+
+class TestServiceRuns:
+    def test_jobs_complete_with_byte_identical_summaries(self, tmp_path):
+        specs = {"j0": _spec(seed=0), "j1": _spec(seed=1)}
+        for seq, (job_id, spec) in enumerate(sorted(specs.items())):
+            submit_job(tmp_path, _job(job_id, spec, seq=seq))
+        exit_summary = _serve(tmp_path)
+        assert exit_summary["jobs"]["done"] == 2
+        paths = ServicePaths(tmp_path)
+        for job_id, spec in specs.items():
+            result = load_result(paths, job_id)
+            assert result["status"] == JobStatus.DONE
+            assert json.dumps(result["summary"], sort_keys=True) == \
+                _expected_summary_bytes(spec)
+
+    def test_bad_spec_fails_with_structured_record(self, tmp_path):
+        doc = _spec().to_json_dict()
+        doc["app"] = "NoSuchAppAnywhere"
+        submit_job(tmp_path, JobRequest(
+            job_id="bad", spec=doc, deadline_s=None, submitted_seq=0))
+        exit_summary = _serve(tmp_path, max_attempts=1)
+        assert exit_summary["jobs"]["failed"] == 1
+        result = load_result(ServicePaths(tmp_path), "bad")
+        assert result["status"] == JobStatus.FAILED
+        assert result["failure"]["error_type"] == "WorkloadError"
+        assert result["failure"]["attempts"] == 1
+
+    def test_undecodable_job_file_terminalizes(self, tmp_path):
+        paths = ServicePaths(tmp_path).ensure()
+        paths.job_path("mangled").write_text("{not json")
+        exit_summary = _serve(tmp_path)
+        assert exit_summary["jobs"]["failed"] == 1
+        result = load_result(paths, "mangled")
+        assert result["status"] == JobStatus.FAILED
+
+    def test_failing_jobs_retry_then_exhaust(self, tmp_path):
+        doc = _spec().to_json_dict()
+        doc["app"] = "NoSuchAppAnywhere"
+        submit_job(tmp_path, JobRequest(
+            job_id="retry", spec=doc, deadline_s=None, submitted_seq=0))
+        _serve(tmp_path, max_attempts=3, backoff_base_s=0.0)
+        result = load_result(ServicePaths(tmp_path), "retry")
+        assert result["failure"]["attempts"] == 3
+        journal = read_journal(ServicePaths(tmp_path).journal_path)
+        assert journal.count("attempt_start", job_id="retry") == 3
+        assert journal.count("attempt_failed", job_id="retry") == 3
+
+    def test_deadline_fails_job_with_timeout(self, tmp_path):
+        submit_job(tmp_path, _job("slow", _spec(duration_s=30.0),
+                                  deadline_s=0.2))
+        exit_summary = _serve(tmp_path, max_attempts=1,
+                              slice_s=0.5, slice_sleep_s=0.05)
+        assert exit_summary["jobs"]["failed"] == 1
+        result = load_result(ServicePaths(tmp_path), "slow")
+        assert result["failure"]["error_type"] == "TimeoutError"
+
+    def test_breaker_open_sheds_new_jobs(self, tmp_path):
+        # A job that arrives AFTER the breaker opened is shed with a
+        # structured rejection instead of being run; jobs admitted
+        # earlier still get their failure records.
+        bad = _spec().to_json_dict()
+        bad["app"] = "NoSuchAppAnywhere"
+        paths = ServicePaths(tmp_path)
+
+        async def scenario():
+            config = ServiceConfig(
+                state_dir=str(tmp_path), workers=1, max_attempts=1,
+                breaker_threshold=1, breaker_cooldown_s=3600.0,
+                fsync_journal=False, max_runtime_s=60.0)
+            service = SessionService(config)
+            task = asyncio.ensure_future(service.serve())
+            submit_job(tmp_path, JobRequest(
+                job_id="bad-0", spec=bad, deadline_s=None,
+                submitted_seq=0))
+            for _ in range(2000):
+                if load_result(paths, "bad-0") is not None:
+                    break
+                await asyncio.sleep(0.01)
+            submit_job(tmp_path, JobRequest(
+                job_id="bad-1", spec=bad, deadline_s=None,
+                submitted_seq=1))
+            for _ in range(2000):
+                if load_result(paths, "bad-1") is not None:
+                    break
+                await asyncio.sleep(0.01)
+            service.request_shutdown()
+            return await task
+
+        asyncio.run(scenario())
+        assert load_result(paths, "bad-0")["status"] == JobStatus.FAILED
+        shed = load_result(paths, "bad-1")
+        assert shed["status"] == JobStatus.REJECTED
+        assert shed["failure"]["error_type"] == \
+            "ServiceUnavailableError"
+        journal = read_journal(paths.journal_path)
+        assert journal.count("breaker_open") >= 1
+        assert journal.count("job_rejected", job_id="bad-1") == 1
+
+    def test_park_and_resume_is_byte_identical(self, tmp_path):
+        spec = _spec(duration_s=6.0)
+        submit_job(tmp_path, _job("parkme", spec))
+
+        async def serve_then_shutdown():
+            config = ServiceConfig(
+                state_dir=str(tmp_path), workers=1,
+                slice_s=1.0, slice_sleep_s=0.01,
+                checkpoint_period_s=1.0, fsync_journal=False,
+                max_runtime_s=60.0)
+            service = SessionService(config)
+            task = asyncio.ensure_future(service.serve())
+            paths = ServicePaths(tmp_path)
+            for _ in range(2000):
+                if paths.checkpoint_path("parkme").exists():
+                    break
+                await asyncio.sleep(0.01)
+            service.request_shutdown()
+            return await task
+
+        exit_summary = asyncio.run(serve_then_shutdown())
+        paths = ServicePaths(tmp_path)
+        journal = read_journal(paths.journal_path)
+        assert journal.count("job_parked", job_id="parkme") == 1
+        assert load_result(paths, "parkme") is None
+        assert paths.checkpoint_path("parkme").exists()
+        assert exit_summary["jobs"]["pending"] >= 1
+
+        # Second incarnation resumes the parked job to completion.
+        _serve(tmp_path)
+        result = load_result(paths, "parkme")
+        assert result["status"] == JobStatus.DONE
+        assert json.dumps(result["summary"], sort_keys=True) == \
+            _expected_summary_bytes(spec)
+        journal = read_journal(paths.journal_path)
+        assert journal.count("job_resumed", job_id="parkme") == 1
+        assert journal.count("job_done", job_id="parkme") == 1
+
+    def test_in_process_submit_rejected_while_draining(self, tmp_path):
+        config = ServiceConfig(state_dir=str(tmp_path),
+                               fsync_journal=False)
+        service = SessionService(config)
+        service.request_shutdown()
+        with pytest.raises(ServiceUnavailableError):
+            service.submit(_job("late", _spec()))
+
+
+class TestControlAndStatus:
+    def test_drain_and_stop_markers(self, tmp_path):
+        request_drain(tmp_path)
+        request_stop(tmp_path)
+        paths = ServicePaths(tmp_path)
+        assert paths.drain_marker().exists()
+        assert paths.stop_marker().exists()
+
+    def test_offline_status_classifies_jobs(self, tmp_path):
+        paths = ServicePaths(tmp_path).ensure()
+        submit_job(tmp_path, _job("pending-job", _spec(), seq=0))
+        submit_job(tmp_path, _job("done-job", _spec(seed=1), seq=1))
+        write_result(paths, "done-job", JobStatus.DONE, {"summary": {}})
+        submit_job(tmp_path, _job("parked-job", _spec(seed=2), seq=2))
+        atomic_write_json(paths.checkpoint_path("parked-job"),
+                          {"schema": "repro-checkpoint/1"})
+        status = service_status(tmp_path)
+        jobs = {j["job_id"]: j["status"] for j in status["jobs"]}
+        assert jobs["pending-job"] == "pending"
+        assert jobs["done-job"] == "done"
+        assert jobs["parked-job"] == "parked"
+        assert status["counts"]["pending"] == 1
+        assert status["counts"]["parked"] == 1
+
+    def test_health_file_written(self, tmp_path):
+        submit_job(tmp_path, _job("j0", _spec()))
+        _serve(tmp_path)
+        health = json.loads(
+            ServicePaths(tmp_path).health_path.read_text())
+        assert health["schema"] == "repro-health/1"
+        assert health["state"] == "stopped"
+        assert health["jobs"]["done"] == 1
+
+    def test_service_config_validation(self, tmp_path):
+        with pytest.raises(ServiceError):
+            ServiceConfig(state_dir=str(tmp_path), workers=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(state_dir=str(tmp_path), workers=2, shards=3)
+        with pytest.raises(ServiceError):
+            ServiceConfig(state_dir=str(tmp_path), queue_capacity=0)
