@@ -14,7 +14,10 @@ about:
 * **spec codec** — one full
   :class:`~repro.pipeline.spec.SessionSpec` round trip (config ->
   spec -> JSON -> spec -> config), the per-session dispatch overhead
-  the parallel batch engine pays to ship sessions to workers.
+  the parallel batch engine pays to ship sessions to workers;
+* **exposition render** — one Prometheus text render of a busy
+  metrics registry (the cost every ``/metrics`` scrape pays inside
+  the service's event loop, so it must stay small).
 
 Every metric is emitted in a machine-readable JSON document
 (``BENCH_<rev>.json``; schema below) next to a human table, and
@@ -155,6 +158,45 @@ def _time_spec_roundtrip(repeats: int) -> float:
     return float(np.min(timings))
 
 
+def _time_expose_render(repeats: int) -> float:
+    """Best seconds of one Prometheus render of a busy registry.
+
+    The workload is a merged-scrape-sized snapshot group: a service
+    registry plus eight shard-labelled registries, each carrying a
+    few hundred counters/gauges and a dozen span histograms — more
+    than a real scrape sees, so the gate bounds the scrape cost from
+    above.  Minimum over ``repeats``, same rationale as the other
+    micro timings.
+    """
+    from .telemetry.expose import render_groups
+    from .telemetry.metrics import MetricsRegistry
+
+    edges = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0]
+    service = MetricsRegistry()
+    for index in range(200):
+        service.counter(f"service.op_{index}").inc(index + 1)
+        service.gauge(f"service.level_{index}").set(float(index) * 0.5)
+    shards = []
+    for shard in range(8):
+        registry = MetricsRegistry()
+        for index in range(50):
+            registry.counter(f"worker.op_{index}").inc(index + shard)
+        for index in range(12):
+            histogram = registry.histogram(
+                f"span.stage_{index}_seconds", edges)
+            for sample in range(40):
+                histogram.observe(0.0007 * (sample + 1))
+        shards.append((registry.as_dict(), {"shard": str(shard)}))
+    groups = [(service.as_dict(), None)] + shards
+    render_groups(groups)  # warm-up
+    timings = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        render_groups(groups)
+        timings.append(time.perf_counter() - t0)
+    return float(np.min(timings))
+
+
 def _time_trace_replay(duration_s: float, best_of: int) -> float:
     """Best wall seconds of one trace-replay session.
 
@@ -210,6 +252,7 @@ def run_bench(workers: Optional[int] = None,
     run_session(_native_config(2.0))  # warm-up (imports, caches)
     meter_s = _time_meter_compare(repeats)
     spec_s = _time_spec_roundtrip(repeats)
+    expose_s = _time_expose_render(repeats)
     native_s = _time_native_session(session_s, best_of=3)
     replay_s = _time_trace_replay(session_s, best_of=3)
     configs = _batch_configs(sessions, batch_session_s)
@@ -229,6 +272,7 @@ def run_bench(workers: Optional[int] = None,
         "metrics": {
             "meter_compare_9k_s": _metric(meter_s, "s"),
             "spec_roundtrip_s": _metric(spec_s, "s"),
+            "expose_render_s": _metric(expose_s, "s"),
             "native_session_s": _metric(native_s, "s"),
             "trace_replay_s": _metric(replay_s, "s"),
             "batch32_workers1_s": _metric(serial_s, "s"),

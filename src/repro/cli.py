@@ -130,9 +130,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.set_defaults(func=cmd_experiment)
 
     p_stats = sub.add_parser(
-        "stats", help="summarize a telemetry JSONL stream")
+        "stats", help="summarize a telemetry JSONL stream (or render "
+                      "it as Prometheus exposition text)")
     p_stats.add_argument("jsonl", help="stream written by "
-                                       "'run --telemetry'")
+                                       "'run --telemetry' (or, with "
+                                       "--format prom, a repro-bench/1 "
+                                       "JSON document)")
+    p_stats.add_argument("--format", default="text",
+                         choices=("text", "prom"),
+                         help="output format: human-readable summary "
+                              "(default) or Prometheus text exposition "
+                              "v0.0.4 through the same renderer the "
+                              "live /metrics endpoint uses")
     p_stats.set_defaults(func=cmd_stats)
 
     p_bench = sub.add_parser(
@@ -262,6 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-fsync", action="store_true",
                          help="skip per-append journal fsync (faster, "
                               "test-only; crash durability weakens)")
+    p_serve.add_argument("--http", type=int, default=None,
+                         metavar="PORT",
+                         help="serve /metrics, /healthz, /readyz on "
+                              "127.0.0.1:PORT (0 picks an ephemeral "
+                              "port, published in health.json; "
+                              "default: no listener)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -300,6 +315,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--json", action="store_true",
                           help="machine-readable status document")
     p_status.set_defaults(func=cmd_status)
+
+    p_texp = sub.add_parser(
+        "trace-export",
+        help="export a service journal (and optionally a telemetry "
+             "JSONL stream) as Chrome trace-event JSON loadable in "
+             "Perfetto / chrome://tracing")
+    p_texp.add_argument("--state-dir", default=None, metavar="DIR",
+                        help="service state directory whose journal "
+                             "to export")
+    p_texp.add_argument("--job", action="append", default=None,
+                        metavar="JOB_ID",
+                        help="restrict the export to this job "
+                             "(repeatable; default: all jobs)")
+    p_texp.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="also fold in a session telemetry JSONL "
+                             "stream (span slices + instants)")
+    p_texp.add_argument("--out", required=True, metavar="PATH",
+                        help="trace JSON to write ('-' for stdout)")
+    p_texp.set_defaults(func=cmd_trace_export)
+
+    p_top = sub.add_parser(
+        "top", help="live refreshing console over /metrics + "
+                    "health.json (queue depth, breaker, per-shard "
+                    "throughput, span latencies)")
+    p_top.add_argument("--state-dir", required=True, metavar="DIR")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       metavar="WALL_S",
+                       help="refresh period in seconds (default 1)")
+    p_top.add_argument("--iterations", type=int, default=None,
+                       metavar="N",
+                       help="stop after N refreshes (default: until "
+                            "Ctrl-C)")
+    p_top.add_argument("--no-clear", action="store_true",
+                       help="append frames instead of clearing the "
+                            "screen (for piping)")
+    p_top.set_defaults(func=cmd_top)
 
     p_drain = sub.add_parser(
         "drain", help="ask a running service to finish every queued "
@@ -575,6 +626,32 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    if args.format == "prom":
+        import json
+        import sys
+
+        from .telemetry.expose import (
+            render_snapshot,
+            snapshot_from_bench,
+            snapshot_from_events,
+        )
+        # A repro-bench/1 JSON document renders as bench.* gauges;
+        # anything else is treated as a telemetry JSONL stream.
+        document = None
+        try:
+            import pathlib
+            document = json.loads(
+                pathlib.Path(args.jsonl).read_text())
+        except ValueError:
+            document = None
+        if isinstance(document, dict) and \
+                document.get("schema") == "repro-bench/1":
+            snapshot = snapshot_from_bench(document)
+        else:
+            from .telemetry.stats import parse_jsonl
+            snapshot = snapshot_from_events(parse_jsonl(args.jsonl))
+        sys.stdout.write(render_snapshot(snapshot))
+        return 0
     print(format_stats(summarize_jsonl(args.jsonl)))
     return 0
 
@@ -723,6 +800,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         until_idle=args.until_idle,
         max_runtime_s=args.max_runtime,
         fsync_journal=not args.no_fsync,
+        http_port=args.http,
     )
     service = SessionService(config)
     print(f"serving {args.state_dir} "
@@ -764,14 +842,17 @@ def cmd_submit(args: argparse.Namespace) -> int:
         next_submit_seq,
         submit_job,
     )
+    from .telemetry.tracing import mint_trace_id
     spec_document = _submit_spec_document(args)
     job_id = args.job_id or job_id_for_spec(spec_document)
+    submitted_seq = next_submit_seq(args.state_dir)
     job = JobRequest(
         job_id=job_id, spec=spec_document,
         deadline_s=args.deadline,
-        submitted_seq=next_submit_seq(args.state_dir))
+        submitted_seq=submitted_seq,
+        trace_id=mint_trace_id(job_id, submitted_seq))
     path = submit_job(args.state_dir, job)
-    print(f"submitted {job_id} -> {path}")
+    print(f"submitted {job_id} -> {path} (trace {job.trace_id})")
     return 0
 
 
@@ -798,15 +879,78 @@ def cmd_status(args: argparse.Namespace) -> int:
     health = status.get("health")
     if health:
         breaker = health.get("breaker", {})
-        print(f"last health:    state={health.get('state')} "
-              f"ready={health.get('ready')} "
-              f"breaker={breaker.get('state')}")
+        if status.get("health_stale"):
+            age = status.get("health_age_s")
+            age_text = (f"{age:.1f}s ago"
+                        if isinstance(age, (int, float)) else "unknown")
+            print(f"last health:    STALE (last reported "
+                  f"state={health.get('state')!r} {age_text}; "
+                  f"heartbeat older than 2x health period)")
+        else:
+            print(f"last health:    state={health.get('state')} "
+                  f"ready={health.get('ready')} "
+                  f"breaker={breaker.get('state')}")
     if status["jobs"]:
         rows = [[entry["job_id"], entry["status"],
                  entry.get("error_type") or ""]
                 for entry in status["jobs"]]
         print(format_table(["job", "status", "error"], rows))
     return 0
+
+
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    import json
+    import sys
+
+    from .telemetry.tracing import (
+        chrome_trace_document,
+        journal_trace_events,
+        telemetry_trace_events,
+        write_chrome_trace,
+    )
+    if args.state_dir is None and args.telemetry is None:
+        raise ConfigurationError(
+            "trace-export needs --state-dir and/or --telemetry")
+    events: list = []
+    metadata: dict = {}
+    if args.state_dir is not None:
+        from .service.jobs import ServicePaths
+        from .service.journal import read_journal
+        paths = ServicePaths(args.state_dir)
+        state = read_journal(paths.journal_path)
+        events.extend(journal_trace_events(
+            state.records, job_ids=args.job or None))
+        metadata["journal_records"] = len(state.records)
+        metadata["state_dir"] = str(paths.state_dir)
+    if args.telemetry is not None:
+        from .telemetry.stats import parse_jsonl
+        events.extend(telemetry_trace_events(
+            parse_jsonl(args.telemetry), pid=0))
+        metadata["telemetry_stream"] = args.telemetry
+    trace_ids = sorted({
+        event["args"]["trace_id"] for event in events
+        if isinstance(event.get("args"), dict)
+        and "trace_id" in event["args"]})
+    metadata["trace_ids"] = trace_ids
+    generations = sum(1 for event in events
+                      if event.get("name") == "service_start")
+    document = chrome_trace_document(events, metadata=metadata)
+    if args.out == "-":
+        sys.stdout.write(json.dumps(document, sort_keys=True) + "\n")
+    else:
+        write_chrome_trace(args.out, document)
+        print(f"wrote {args.out}: {len(events)} trace events, "
+              f"{len(trace_ids)} trace id(s), "
+              f"{generations} service generation(s)")
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .service.console import run_top
+    return run_top(args.state_dir, interval_s=args.interval,
+                   iterations=args.iterations,
+                   clear=not args.no_clear)
 
 
 def cmd_drain(args: argparse.Namespace) -> int:

@@ -50,13 +50,16 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import ServiceError
+from ..errors import ServiceError, TelemetryError
 from ..faults.plan import FaultPlan
 from ..pipeline.spec import SessionSpec
 from ..sim.batch import summarize_result
 from ..sim.session import SessionConfig, run_session
+from ..telemetry.expose import parse_exposition
+from ..telemetry.tracing import journal_trace_events
+from .http import fetch_blocking
 from .jobs import JobRequest, JobStatus, ServicePaths, load_result
-from .journal import read_journal
+from .journal import JournalState, read_journal
 from .service import submit_job
 
 PathLike = Union[str, pathlib.Path]
@@ -197,6 +200,7 @@ def _spawn_serve(state_dir: pathlib.Path, config: ChaosConfig,
                "--state-dir", str(state_dir),
                "--workers", "2",
                "--until-idle",
+               "--http", "0",
                "--slice-sleep", str(config.slice_sleep_s),
                "--checkpoint-period", str(config.checkpoint_period_s),
                "--max-runtime", str(config.serve_timeout_s)]
@@ -316,8 +320,104 @@ def truncate_journal_tail(path: PathLike, cut_bytes: int = 7) -> bool:
 
 
 # ----------------------------------------------------------------------
+# Mid-run observability scrape
+# ----------------------------------------------------------------------
+
+def _scrape_live_metrics(paths: ServicePaths,
+                         proc: "subprocess.Popen[bytes]",
+                         timeout_s: float
+                         ) -> Tuple[Optional[Dict[str, Any]],
+                                    Optional[str]]:
+    """Scrape ``/metrics`` from a live service incarnation.
+
+    Polls ``health.json`` for the listener address the service
+    publishes, fetches the exposition, and *parses it back* — a scrape
+    succeeds only if the output is well-formed v0.0.4 text.  Returns
+    ``({"families": N, "jobs_done": v}, None)`` on success or
+    ``(None, why)`` on failure (including malformed exposition, which
+    is the whole point of parsing).
+    """
+    deadline = time.monotonic() + timeout_s
+    last_error = "no health snapshot with a listener address appeared"
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            return None, (f"service exited before a scrape succeeded "
+                          f"({last_error})")
+        try:
+            health = json.loads(paths.health_path.read_text())
+        except (OSError, ValueError):
+            time.sleep(0.05)
+            continue
+        address = health.get("http")
+        if not isinstance(address, dict):
+            time.sleep(0.05)
+            continue
+        try:
+            code, body = fetch_blocking(
+                str(address.get("host", "127.0.0.1")),
+                int(address.get("port", 0)), "/metrics",
+                timeout_s=2.0)
+        except ServiceError as exc:
+            last_error = str(exc)
+            time.sleep(0.05)
+            continue
+        if code != 200:
+            last_error = f"/metrics answered HTTP {code}"
+            time.sleep(0.05)
+            continue
+        try:
+            families = parse_exposition(body)
+        except TelemetryError as exc:
+            return None, f"mid-run /metrics output malformed: {exc}"
+        done = 0.0
+        family = families.get("repro_service_jobs_done_total")
+        if isinstance(family, dict):
+            done = float(family["samples"].get(
+                ("repro_service_jobs_done_total", ()), 0.0))
+        return {"families": len(families), "jobs_done": done}, None
+    return None, last_error
+
+
+# ----------------------------------------------------------------------
 # Verification
 # ----------------------------------------------------------------------
+
+def _verify_tracing(journal: JournalState,
+                    specs: Sequence[Tuple[str, SessionSpec]]
+                    ) -> List[str]:
+    """Trace-continuity postconditions across process generations.
+
+    Every journal record of one job must carry the *same* trace ID in
+    every service incarnation (the deterministic minting guarantees
+    it), and the journal must fold into a Chrome trace with at least
+    one duration slice per job — the "one contiguous Perfetto
+    timeline" property, asserted mechanically.
+    """
+    problems: List[str] = []
+    starts = journal.count("service_start")
+    if starts < 2:
+        problems.append(
+            f"expected >= 2 service generations in the journal, "
+            f"found {starts}")
+    for job_id, _ in specs:
+        trace_ids = {record["trace_id"]
+                     for record in journal.ops_for(job_id)
+                     if isinstance(record.get("trace_id"), str)}
+        if len(trace_ids) != 1:
+            problems.append(
+                f"{job_id}: expected exactly one trace id across "
+                f"generations, found {sorted(trace_ids)}")
+    events = journal_trace_events(journal.records)
+    sliced = {event["args"].get("job_id")
+              for event in events
+              if event.get("ph") == "X"
+              and isinstance(event.get("args"), dict)}
+    for job_id, _ in specs:
+        if job_id not in sliced:
+            problems.append(
+                f"{job_id}: trace export produced no duration slice")
+    return problems
+
 
 def _verify_outcomes(paths: ServicePaths,
                      specs: Sequence[Tuple[str, SessionSpec]]
@@ -370,12 +470,17 @@ def _run_scenario(name: str, root: pathlib.Path,
     specs = _build_specs(scenario_dir, config)
     _submit_all(state_dir, specs)
 
-    # Phase 1: run, then SIGKILL once checkpoint state exists.
+    # Phase 1: run, scrape /metrics while jobs are in flight, then
+    # SIGKILL once checkpoint state exists.
     proc = _spawn_serve(state_dir, config, log_path)
     try:
+        scrape, scrape_error = _scrape_live_metrics(
+            paths, proc, config.kill_wait_s)
         error = _kill_after_first_checkpoint(proc, paths, config)
     finally:
         _end_process(proc)
+    if error is None and scrape is None:
+        error = f"mid-run /metrics scrape failed: {scrape_error}"
     if error is not None:
         return {"name": name, "ok": False,
                 "detail": f"{error}; log: {_log_tail(log_path)}",
@@ -402,9 +507,14 @@ def _run_scenario(name: str, root: pathlib.Path,
                     "state_dir": str(state_dir)}
         detail_bits.append("journal tail torn")
 
-    # Phase 3: restart and let the service drain everything.
+    # Phase 3: restart and let the service drain everything.  A
+    # best-effort second scrape mid-drain feeds the counter
+    # monotonicity check (recovery seeds the durable counters, so the
+    # restarted incarnation must never report fewer jobs_done than the
+    # one that was killed).
     proc = _spawn_serve(state_dir, config, log_path)
     try:
+        rescrape, _ = _scrape_live_metrics(paths, proc, 10.0)
         finished = _wait_until(lambda: proc.poll() is not None,
                                config.serve_timeout_s + 15.0,
                                poll_s=0.2)
@@ -425,6 +535,30 @@ def _run_scenario(name: str, root: pathlib.Path,
     # Phase 4: universal postconditions + scenario-specific evidence.
     problems = _verify_outcomes(paths, specs)
     journal = read_journal(paths.journal_path)
+    problems.extend(_verify_tracing(journal, specs))
+    done = sum(1 for job_id, _ in specs
+               if (load_result(paths, job_id) or {}).get("status")
+               == JobStatus.DONE)
+    if scrape is not None:
+        detail_bits.append(
+            f"scraped {scrape['families']} metric families mid-run")
+        if rescrape is not None:
+            if rescrape["jobs_done"] < scrape["jobs_done"]:
+                problems.append(
+                    f"jobs_done counter went backwards across "
+                    f"kill/resume: {scrape['jobs_done']:g} -> "
+                    f"{rescrape['jobs_done']:g}")
+            else:
+                detail_bits.append(
+                    f"jobs_done {scrape['jobs_done']:g}->"
+                    f"{rescrape['jobs_done']:g} across kill/resume")
+        elif done < scrape["jobs_done"]:
+            # No live rescrape (the restart drained too fast); the
+            # durable results are the counter's floor.
+            problems.append(
+                f"only {done} durable done result(s) but the killed "
+                f"incarnation already reported "
+                f"{scrape['jobs_done']:g} jobs_done")
     if name == "corrupt_checkpoint":
         invalid = journal.count("checkpoint_invalid")
         if not invalid:
@@ -448,9 +582,6 @@ def _run_scenario(name: str, root: pathlib.Path,
         return {"name": name, "ok": False,
                 "detail": "; ".join(problems),
                 "state_dir": str(state_dir)}
-    done = sum(1 for job_id, _ in specs
-               if (load_result(paths, job_id) or {}).get("status")
-               == JobStatus.DONE)
     detail = (f"{done}/{len(specs)} jobs correct after crash-restart"
               + (f" ({', '.join(detail_bits)})" if detail_bits else ""))
     return {"name": name, "ok": True, "detail": detail,

@@ -1,0 +1,256 @@
+"""``repro top`` — a live terminal view of a running service.
+
+No curses, no dependencies: the console repaints the whole frame each
+refresh using a single ANSI home-and-clear escape, which works in any
+terminal (and degrades to append-only output with ``--no-clear``, e.g.
+when piping to a file).
+
+Data comes from the two observability surfaces the service already
+maintains:
+
+* ``health.json`` — job counts, breaker state, queue depth, and the
+  observability listener's address (``http``);
+* ``GET /metrics`` on that address — the merged service + per-shard
+  exposition, parsed back via
+  :func:`repro.telemetry.expose.parse_exposition`, from which the
+  console derives per-shard throughput and span latency quantiles
+  (p50/p95 via :func:`~repro.telemetry.expose.histogram_quantile`
+  over the ``span.*_seconds`` buckets).
+
+The console is read-only and degrades gracefully: a missing or stale
+``health.json`` is reported as such, and an unreachable listener just
+drops the metrics panel while the health panel keeps refreshing.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+import time
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..errors import ServiceError
+from ..telemetry.expose import histogram_quantile, parse_exposition
+from .http import fetch_blocking
+from .service import service_status
+
+PathLike = Union[str, pathlib.Path]
+
+#: ANSI: cursor home + clear screen (the whole repaint).
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+def gather_top(state_dir: PathLike) -> Dict[str, Any]:
+    """One console frame's worth of data.
+
+    Returns ``{status, health, metrics, scrape_error}`` where
+    ``metrics`` is the parsed exposition (or None when the listener is
+    absent/unreachable — ``scrape_error`` then says why).
+    """
+    status = service_status(state_dir)
+    health = status.get("health")
+    metrics: Optional[Dict[str, Any]] = None
+    scrape_error: Optional[str] = None
+    address = health.get("http") if isinstance(health, Mapping) else None
+    if isinstance(health, Mapping) and \
+            health.get("state") == "stopped":
+        scrape_error = "service is stopped"
+        address = None
+    if isinstance(address, Mapping) and not status.get("health_stale"):
+        try:
+            code, body = fetch_blocking(
+                str(address.get("host", "127.0.0.1")),
+                int(address.get("port", 0)), "/metrics",
+                timeout_s=2.0)
+            if code == 200:
+                metrics = parse_exposition(body)
+            else:
+                scrape_error = f"/metrics answered HTTP {code}"
+        except ServiceError as exc:
+            scrape_error = str(exc)
+    elif isinstance(address, Mapping):
+        scrape_error = "health snapshot is stale; not scraping"
+    elif scrape_error is None:
+        scrape_error = "service has no observability listener"
+    return {"status": status, "health": health, "metrics": metrics,
+            "scrape_error": scrape_error}
+
+
+def _sample(metrics: Mapping[str, Any], family: str,
+            labels: Mapping[str, str] = {}) -> Optional[float]:
+    fam = metrics.get(family)
+    if not isinstance(fam, Mapping):
+        return None
+    wanted = tuple(sorted(labels.items()))
+    samples: Mapping = fam.get("samples", {})
+    for (name, label_items), value in samples.items():
+        if name == family and label_items == wanted:
+            return float(value)
+    return None
+
+
+def _shard_rows(metrics: Mapping[str, Any]) -> List[List[str]]:
+    """Per-shard throughput rows from the ``shard``-labelled workers'
+    counters."""
+    shards: Dict[str, Dict[str, float]] = {}
+    for family, suffix in (("repro_worker_jobs_done_total", "done"),
+                           ("repro_worker_jobs_dispatched_total",
+                            "dispatched"),
+                           ("repro_worker_slices_total", "slices"),
+                           ("repro_worker_queue_depth", "queue")):
+        fam = metrics.get(family)
+        if not isinstance(fam, Mapping):
+            continue
+        for (_, label_items), value in fam.get("samples", {}).items():
+            labels = dict(label_items)
+            shard = labels.get("shard")
+            if shard is not None:
+                shards.setdefault(shard, {})[suffix] = float(value)
+    rows = []
+    for shard in sorted(shards, key=lambda s: (len(s), s)):
+        data = shards[shard]
+        rows.append([
+            shard,
+            f"{int(data.get('queue', 0))}",
+            f"{int(data.get('dispatched', 0))}",
+            f"{int(data.get('done', 0))}",
+            f"{int(data.get('slices', 0))}",
+        ])
+    return rows
+
+
+def _span_rows(metrics: Mapping[str, Any]) -> List[List[str]]:
+    """p50/p95 rows for every ``span.*_seconds`` histogram family."""
+    rows = []
+    for family in sorted(metrics):
+        fam = metrics[family]
+        if not (isinstance(fam, Mapping)
+                and fam.get("type") == "histogram"
+                and family.startswith("repro_span_")):
+            continue
+        # Aggregate across label sets (per-shard series share edges,
+        # and summing cumulative series bucket-wise stays cumulative).
+        bucket_totals: Dict[float, float] = {}
+        count = 0.0
+        for (name, label_items), value in fam.get("samples",
+                                                  {}).items():
+            labels = dict(label_items)
+            if name == family + "_bucket" and "le" in labels:
+                le = labels["le"]
+                edge = math.inf if le == "+Inf" else float(le)
+                bucket_totals[edge] = (bucket_totals.get(edge, 0.0)
+                                       + float(value))
+            elif name == family + "_count":
+                count += float(value)
+        if not bucket_totals or count == 0:
+            continue
+        buckets = sorted(bucket_totals.items())
+        # The +Inf bucket is always last; the diffs of the cumulative
+        # series recover per-bucket counts (len == finite edges + 1).
+        edges = [edge for edge, _ in buckets if not math.isinf(edge)]
+        cumulative = [v for _, v in buckets]
+        counts = [cumulative[0]] + [
+            b - a for a, b in zip(cumulative, cumulative[1:])]
+        p50 = histogram_quantile(edges, counts, 0.50)
+        p95 = histogram_quantile(edges, counts, 0.95)
+        short = family[len("repro_span_"):]
+        rows.append([short, f"{int(count)}",
+                     f"{p50 * 1e3:.3f}", f"{p95 * 1e3:.3f}"])
+    return rows
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["  ".join(h.ljust(widths[i])
+                       for i, h in enumerate(headers))]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return lines
+
+
+def render_top(snapshot: Mapping[str, Any]) -> str:
+    """One console frame as plain text (no escape codes)."""
+    status = snapshot["status"]
+    health = snapshot.get("health") or {}
+    metrics = snapshot.get("metrics")
+    counts = status["counts"]
+    lines: List[str] = []
+    state = health.get("state", "unknown")
+    if status.get("health_stale"):
+        age = status.get("health_age_s")
+        state = (f"STALE (last reported {state!r}"
+                 + (f", {age:.1f}s ago" if age is not None else "")
+                 + ")")
+    breaker = (health.get("breaker") or {}).get("state", "unknown")
+    lines.append(f"repro top — {status['state_dir']}")
+    lines.append(f"state: {state}   ready: {health.get('ready')}   "
+                 f"breaker: {breaker}")
+    jobs = health.get("jobs") or {}
+    lines.append(
+        f"jobs:  {counts['done']} done  {counts['failed']} failed  "
+        f"{counts['rejected']} rejected  {counts['parked']} parked  "
+        f"{counts['pending']} pending")
+    lines.append(
+        f"live:  queue_depth={health.get('queue_depth', '?')}  "
+        f"in_flight={health.get('in_flight', '?')}  "
+        f"running={jobs.get('running', '?')}")
+    if metrics is not None:
+        shard_rows = _shard_rows(metrics)
+        if shard_rows:
+            lines.append("")
+            lines.append("per-shard throughput:")
+            lines.extend("  " + line for line in _table(
+                ["shard", "queue", "dispatched", "done", "slices"],
+                shard_rows))
+        span_rows = _span_rows(metrics)
+        if span_rows:
+            lines.append("")
+            lines.append("span latency (ms):")
+            lines.extend("  " + line for line in _table(
+                ["span", "count", "p50", "p95"], span_rows))
+    elif snapshot.get("scrape_error"):
+        lines.append("")
+        lines.append(f"metrics: unavailable "
+                     f"({snapshot['scrape_error']})")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(state_dir: PathLike, interval_s: float = 1.0,
+            iterations: Optional[int] = None, clear: bool = True,
+            out: Any = None) -> int:
+    """The ``repro top`` loop.
+
+    ``iterations`` bounds the refresh count (None: until interrupted)
+    — tests and scripting pass a small number.  Returns 0; Ctrl-C
+    exits cleanly.
+    """
+    import sys
+
+    stream = out if out is not None else sys.stdout
+    if interval_s <= 0:
+        raise ServiceError(
+            f"interval must be > 0, got {interval_s}",
+            context={"subsystem": "service", "component": "console"})
+    remaining = iterations
+    try:
+        while remaining is None or remaining > 0:
+            frame = render_top(gather_top(state_dir))
+            if clear:
+                stream.write(_CLEAR)
+            stream.write(frame)
+            stream.flush()
+            if remaining is not None:
+                remaining -= 1
+                if remaining == 0:
+                    break
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+__all__ = ["gather_top", "render_top", "run_top"]

@@ -1,0 +1,223 @@
+"""A minimal asyncio HTTP/1.0 listener for the observability plane.
+
+``repro serve`` answers three read-only endpoints while jobs run:
+
+* ``GET /metrics`` — Prometheus text exposition v0.0.4 of the merged
+  service + per-shard registries (:mod:`repro.telemetry.expose`);
+* ``GET /healthz`` — the same JSON document ``health.json`` carries,
+  but fresh (rendered at request time, not at the last heartbeat);
+* ``GET /readyz`` — 200 while accepting work, 503 while draining or
+  stopped, for load-balancer-style gating.
+
+The listener is deliberately tiny: stdlib ``asyncio.start_server``,
+one short-lived connection per request, ``Connection: close``.  It
+shares the service's event loop, so a scrape costs one callback
+invocation between job slices — the simulation itself never observes
+it (callbacks only *read* registries, and registries are not part of
+the deterministic state digest).
+
+Binding defaults to ``127.0.0.1`` and port 0 (ephemeral); the bound
+address is published in ``health.json`` so clients (``repro top``, the
+chaos harness) can discover it without configuration.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+
+from ..errors import ServiceError
+from ..telemetry.expose import CONTENT_TYPE as METRICS_CONTENT_TYPE
+
+#: Seconds a single request may take to arrive before the connection
+#: is dropped; scrapes are tiny, so this only guards held-open sockets.
+REQUEST_TIMEOUT_S = 5.0
+
+_MAX_REQUEST_BYTES = 16384
+
+
+class ObservabilityServer:
+    """Serves ``/metrics``, ``/healthz`` and ``/readyz`` callbacks."""
+
+    def __init__(self, *,
+                 metrics_text: Callable[[], str],
+                 health_document: Callable[[], dict],
+                 ready: Callable[[], bool],
+                 host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._metrics_text = metrics_text
+        self._health_document = health_document
+        self._ready = ready
+        self._requested_host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: ``(host, port)`` actually bound, set by :meth:`start`.
+        self.address: Optional[Tuple[str, int]] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound address."""
+        try:
+            self._server = await asyncio.start_server(
+                self._handle, host=self._requested_host,
+                port=self._requested_port)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot bind observability listener on "
+                f"{self._requested_host}:{self._requested_port}: {exc}",
+                context={"subsystem": "service",
+                         "component": "http"}) from None
+        sockets = self._server.sockets or []
+        if not sockets:
+            raise ServiceError(
+                "observability listener bound no sockets",
+                context={"subsystem": "service", "component": "http"})
+        name = sockets[0].getsockname()
+        self.address = (str(name[0]), int(name[1]))
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting and close; idempotent."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+
+    def _respond(self, status: int, reason: str, content_type: str,
+                 body: str) -> bytes:
+        payload = body.encode("utf-8")
+        head = (f"HTTP/1.0 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n")
+        return head.encode("ascii") + payload
+
+    def _route(self, method: str, path: str) -> bytes:
+        if method != "GET":
+            return self._respond(405, "Method Not Allowed",
+                                 "text/plain; charset=utf-8",
+                                 "only GET is supported\n")
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            return self._respond(200, "OK", METRICS_CONTENT_TYPE,
+                                 self._metrics_text())
+        if path == "/healthz":
+            document = self._health_document()
+            return self._respond(
+                200, "OK", "application/json; charset=utf-8",
+                json.dumps(document, sort_keys=True) + "\n")
+        if path == "/readyz":
+            if self._ready():
+                return self._respond(200, "OK",
+                                     "application/json; charset=utf-8",
+                                     '{"ready": true}\n')
+            return self._respond(503, "Service Unavailable",
+                                 "application/json; charset=utf-8",
+                                 '{"ready": false}\n')
+        return self._respond(404, "Not Found",
+                             "text/plain; charset=utf-8",
+                             f"no route for {path}\n")
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=REQUEST_TIMEOUT_S)
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                response = self._respond(
+                    400, "Bad Request", "text/plain; charset=utf-8",
+                    "malformed request line\n")
+            else:
+                # Drain headers (bounded) so clients see a clean close.
+                consumed = len(request_line)
+                while consumed < _MAX_REQUEST_BYTES:
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=REQUEST_TIMEOUT_S)
+                    consumed += len(line)
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                try:
+                    response = self._route(parts[0], parts[1])
+                except Exception as exc:  # noqa: BLE001 — keep serving
+                    response = self._respond(
+                        500, "Internal Server Error",
+                        "text/plain; charset=utf-8",
+                        f"handler failed: {exc}\n")
+            writer.write(response)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass  # client went away; nothing to salvage
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+
+async def fetch(host: str, port: int, path: str,
+                timeout_s: float = 5.0) -> Tuple[int, Dict[str, str], str]:
+    """Tiny asyncio HTTP GET helper (tests and the chaos harness use
+    it; ``repro top`` uses the blocking stdlib client instead).
+
+    Returns ``(status, headers, body)``.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=timeout_s)
+    try:
+        writer.write((f"GET {path} HTTP/1.0\r\n"
+                      f"Host: {host}\r\n\r\n").encode("ascii"))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout_s)
+    finally:
+        writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        status = int(lines[0].split()[1])
+    except (IndexError, ValueError):
+        raise ServiceError(
+            f"malformed HTTP response from {host}:{port}{path}",
+            context={"subsystem": "service",
+                     "component": "http"}) from None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name:
+            headers[name.strip().lower()] = value.strip()
+    return status, headers, body.decode("utf-8", errors="replace")
+
+
+def fetch_blocking(host: str, port: int, path: str,
+                   timeout_s: float = 5.0) -> Tuple[int, str]:
+    """Blocking GET via ``urllib`` for synchronous callers
+    (``repro top``).  Returns ``(status, body)``; non-2xx statuses are
+    returned, not raised."""
+    import urllib.error
+    import urllib.request
+
+    url = f"http://{host}:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout_s) as reply:
+            return reply.status, reply.read().decode(
+                "utf-8", errors="replace")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8", errors="replace")
+    except (urllib.error.URLError, OSError) as exc:
+        raise ServiceError(
+            f"cannot reach {url}: {exc}",
+            context={"subsystem": "service",
+                     "component": "http"}) from None
+
+
+__all__ = [
+    "ObservabilityServer",
+    "REQUEST_TIMEOUT_S",
+    "fetch",
+    "fetch_blocking",
+]
+
+# Callable alias kept for documentation clarity.
+HealthCallback = Callable[[], Awaitable[dict]]

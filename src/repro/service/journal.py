@@ -46,13 +46,16 @@ class Journal:
     """Appender over one journal file.
 
     Keeps the file handle open across appends (one open per service
-    lifetime, not per record) and fsyncs each line.  Not thread-safe —
-    the service serializes appends on the event loop.
+    lifetime, not per record) and fsyncs each line.  Opening heals a
+    torn tail left by a prior crash (terminates the unterminated final
+    line) so new records never weld onto torn garbage.  Not
+    thread-safe — the service serializes appends on the event loop.
     """
 
     def __init__(self, path: PathLike, *, fsync: bool = True) -> None:
         self.path = pathlib.Path(path)
         self._fsync = fsync
+        _heal_torn_tail(self.path)
         self._seq = _next_seq(self.path)
         try:
             self._handle: Optional[Any] = self.path.open("a")
@@ -144,6 +147,30 @@ def read_journal(path: PathLike) -> JournalState:
         else:
             state.damage.bad_lines += 1
     return state
+
+
+def _heal_torn_tail(path: pathlib.Path) -> bool:
+    """Terminate an unterminated final line before appending resumes.
+
+    A crash can leave the journal's last line torn mid-record with no
+    trailing newline.  Appending straight onto that tail would weld the
+    next record to the garbage, losing *two* records to one torn write;
+    writing a newline first caps the damage at the torn line itself.
+    Returns True if a newline was added.
+    """
+    try:
+        with path.open("rb+") as handle:
+            handle.seek(0, 2)
+            size = handle.tell()
+            if size == 0:
+                return False
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return False
+            handle.write(b"\n")
+            return True
+    except OSError:
+        return False
 
 
 def _next_seq(path: pathlib.Path) -> int:

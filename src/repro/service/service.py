@@ -49,8 +49,12 @@ from ..errors import (
 from ..ioutil import atomic_write_json
 from ..sim.batch import make_failure_record, summarize_result
 from ..sim.runner import SessionRunner, resume_from_file
-from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.expose import render_groups
+from ..telemetry.metrics import MetricsRegistry, merge_snapshots
+from ..telemetry.profiling import SPAN_BUCKET_EDGES_S
+from ..telemetry.tracing import mint_trace_id
 from .breaker import BreakerState, CircuitBreaker
+from .http import ObservabilityServer
 from .jobs import (
     JobRequest,
     JobStatus,
@@ -101,6 +105,10 @@ class ServiceConfig:
     until_idle: bool = False
     max_runtime_s: Optional[float] = None
     drain_grace_s: float = 30.0
+    #: Observability listener port: ``None`` disables it, ``0`` binds
+    #: an ephemeral port (published in ``health.json``).
+    http_port: Optional[int] = None
+    http_host: str = "127.0.0.1"
 
     def __post_init__(self) -> None:
         for name, minimum in (("workers", 1), ("shards", 1),
@@ -125,6 +133,11 @@ class ServiceConfig:
                 f"shards ({self.shards}) cannot exceed workers "
                 f"({self.workers})",
                 context={"subsystem": "service", "field": "shards"})
+        if self.http_port is not None and not (
+                0 <= self.http_port <= 65535):
+            raise ServiceError(
+                f"http_port must be 0..65535, got {self.http_port}",
+                context={"subsystem": "service", "field": "http_port"})
 
 
 def backoff_delay_s(attempt: int, base_s: float,
@@ -177,11 +190,14 @@ def next_submit_seq(state_dir: PathLike) -> int:
 
 @dataclass
 class _Shard:
-    """One worker pool: a bounded queue plus its worker tasks."""
+    """One worker pool: a bounded queue, worker tasks, and the shard's
+    own :class:`~repro.telemetry.metrics.MetricsRegistry` (scrapes
+    merge it with the service registry under a ``shard`` label)."""
 
     index: int
     queue: "asyncio.Queue[JobRequest]"
     workers: List["asyncio.Task"] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
 
 class SessionService:
@@ -210,6 +226,10 @@ class SessionService:
         self._journal_damage: Dict[str, Any] = {"torn_tail": False,
                                                 "bad_lines": 0}
         self._started_at = 0.0
+        self._trace_ids: Dict[str, str] = {}
+        self._http: Optional[ObservabilityServer] = None
+        #: ``(host, port)`` of the observability listener once bound.
+        self.http_address: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -303,6 +323,15 @@ class SessionService:
                 asyncio.create_task(self._worker(shard))
                 for _ in range(workers_per_shard)]
             self._shards.append(shard)
+        if config.http_port is not None:
+            self._http = ObservabilityServer(
+                metrics_text=self.metrics_text,
+                health_document=self.health_document,
+                ready=lambda: (not self._draining
+                               and self.breaker.state
+                               != BreakerState.OPEN),
+                host=config.http_host, port=config.http_port)
+            self.http_address = await self._http.start()
         last_health = 0.0
         try:
             while True:
@@ -347,6 +376,9 @@ class SessionService:
 
     async def _shutdown(self) -> None:
         self._draining = True
+        if self._http is not None:
+            await self._http.stop()
+            self._http = None
         # Give in-flight jobs one drain-grace window to notice the
         # flag at their next slice boundary and park with a checkpoint
         # — cancelling first would lose the slice progress.
@@ -393,12 +425,24 @@ class SessionService:
                 note="journal damage tolerated; results directory is "
                      "authoritative")
         recovered = 0
+        durable = {JobStatus.DONE: 0, JobStatus.FAILED: 0,
+                   JobStatus.REJECTED: 0}
         for path in self.paths.list_jobs():
             job_id = path.stem
             result = load_result(self.paths, job_id)
             if result is not None:
                 self._known[job_id] = result["status"]
+                if result["status"] in durable:
+                    durable[result["status"]] += 1
                 recovered += 1
+        # Seed the terminal counters from the durable results so a
+        # scrape sees values monotonic across process generations —
+        # the in-memory registry died with the previous incarnation,
+        # but the results directory did not.
+        self._count("service.jobs_done", durable[JobStatus.DONE])
+        self._count("service.jobs_failed", durable[JobStatus.FAILED])
+        self._count("service.jobs_rejected",
+                    durable[JobStatus.REJECTED])
         # Orphan checkpoints (job finished, crash before cleanup).
         for path in sorted(
                 self.paths.checkpoints_dir.glob("*.json")):
@@ -439,6 +483,7 @@ class SessionService:
                 continue
             new_jobs.append(job)
         for job in sorted(new_jobs, key=JobRequest.sort_key):
+            self._register_trace(job)
             if not self.breaker.allow():
                 self._count("service.jobs_rejected")
                 self._journal_op("job_rejected", job_id=job.job_id,
@@ -470,7 +515,18 @@ class SessionService:
             shard.queue.put_nowait(job)
         self._pending = still_waiting
 
+    def _register_trace(self, job: JobRequest) -> str:
+        """The job's trace ID — carried on the job file, or minted
+        deterministically so every process generation agrees."""
+        trace_id = self._trace_ids.get(job.job_id)
+        if trace_id is None:
+            trace_id = job.trace_id or mint_trace_id(
+                job.job_id, job.submitted_seq)
+            self._trace_ids[job.job_id] = trace_id
+        return trace_id
+
     def _admit(self, job: JobRequest, shard: _Shard) -> None:
+        self._register_trace(job)
         self._known[job.job_id] = JobStatus.PENDING
         self._count("service.jobs_ingested")
         self._journal_op("job_ingested", job_id=job.job_id,
@@ -497,22 +553,25 @@ class SessionService:
         while True:
             job = await shard.queue.get()
             self._in_flight += 1
+            shard.metrics.counter("worker.jobs_dispatched").inc()
             try:
-                await self._run_job(job)
+                await self._run_job(job, shard)
             finally:
                 self._in_flight -= 1
                 shard.queue.task_done()
 
-    async def _run_job(self, job: JobRequest) -> None:
+    async def _run_job(self, job: JobRequest,
+                       shard: _Shard) -> None:
         config = self.config
         self._known[job.job_id] = JobStatus.RUNNING
         last_error: Optional[BaseException] = None
         for attempt in range(1, config.max_attempts + 1):
             self._count("service.attempts")
             self._journal_op("attempt_start", job_id=job.job_id,
-                             attempt=attempt)
+                             attempt=attempt, shard=shard.index)
+            shard.metrics.counter("worker.attempts").inc()
             try:
-                parked = await self._execute(job)
+                parked = await self._execute(job, shard)
             except asyncio.CancelledError:
                 # Hard cancel (shutdown while mid-slice): park what we
                 # can so restart resumes instead of recomputing.
@@ -549,10 +608,12 @@ class SessionService:
                           attempts=config.max_attempts,
                           submitted_seq=job.submitted_seq)
 
-    async def _execute(self, job: JobRequest) -> bool:
+    async def _execute(self, job: JobRequest,
+                       shard: _Shard) -> bool:
         """One attempt.  Returns True when the job *parked* (drain)."""
         config = self.config
         runner = self._build_runner(job)
+        trace_id = self._register_trace(job)
         deadline_s = job.deadline_s or config.default_deadline_s
         deadline_at = (time.monotonic() + deadline_s
                        if deadline_s is not None else None)
@@ -567,13 +628,26 @@ class SessionService:
                     f"job {job.job_id!r} exceeded its deadline of "
                     f"{deadline_s:.3f}s (sim time reached "
                     f"{runner.now:.3f}s of {runner.duration_s:.3f}s)")
+            slice_t0 = time.perf_counter()
             runner.advance(runner.now + config.slice_s,
                            max_events=config.max_slice_events)
+            shard.metrics.counter("worker.slices").inc()
+            # Wall-clock spans feed only the scrape surface (p50/p95
+            # in `repro top`); nothing deterministic reads them.
+            shard.metrics.histogram(
+                "span.service_slice_seconds",
+                SPAN_BUCKET_EDGES_S).observe(
+                    time.perf_counter() - slice_t0)
             if (not runner.done and runner.now - last_checkpoint_t
                     >= config.checkpoint_period_s):
+                checkpoint_t0 = time.perf_counter()
                 runner.save_checkpoint(
                     self.paths.checkpoint_path(job.job_id),
-                    job_id=job.job_id)
+                    job_id=job.job_id, trace_id=trace_id)
+                shard.metrics.histogram(
+                    "span.service_checkpoint_seconds",
+                    SPAN_BUCKET_EDGES_S).observe(
+                        time.perf_counter() - checkpoint_t0)
                 last_checkpoint_t = runner.now
                 self._count("service.checkpoints_written")
                 self._journal_op("checkpoint_written",
@@ -588,6 +662,7 @@ class SessionService:
         self._known[job.job_id] = JobStatus.DONE
         if written is not None:
             self._count("service.jobs_done")
+            shard.metrics.counter("worker.jobs_done").inc()
             self._journal_op("job_done", job_id=job.job_id,
                              sim_time_s=runner.now)
         self.paths.checkpoint_path(job.job_id).unlink(missing_ok=True)
@@ -628,7 +703,8 @@ class SessionService:
         try:
             runner.save_checkpoint(
                 self.paths.checkpoint_path(job.job_id),
-                job_id=job.job_id)
+                job_id=job.job_id,
+                trace_id=self._register_trace(job))
         except CheckpointError:
             # Not spec-expressible (cannot happen for spooled jobs,
             # which by construction came from a spec) — parking just
@@ -670,8 +746,20 @@ class SessionService:
         self.metrics.counter(name).inc(amount)
 
     def _journal_op(self, op: str, **fields: Any) -> None:
-        if self.journal is not None:
-            self.journal.append(op, **fields)
+        """Journal one op, stamped with a wall clock and — for job
+        ops — the job's trace ID, so ``repro trace-export`` can fold
+        the journal into a real-time Perfetto timeline.  The journal
+        module itself stays clock-free; the stamps ride as the extra
+        fields readers already tolerate."""
+        if self.journal is None:
+            return
+        job_id = fields.get("job_id")
+        if isinstance(job_id, str) and "trace_id" not in fields:
+            trace_id = self._trace_ids.get(job_id)
+            if trace_id is not None:
+                fields["trace_id"] = trace_id
+        fields.setdefault("wall_s", round(time.time(), 6))
+        self.journal.append(op, **fields)
 
     def status_summary(self) -> Dict[str, Any]:
         """In-memory job/queue/breaker overview (also in health)."""
@@ -694,20 +782,62 @@ class SessionService:
             "journal": dict(self._journal_damage),
         }
 
-    def _write_health(self, state: Optional[str] = None) -> None:
+    def _refresh_gauges(self) -> None:
         self.metrics.gauge("service.queue_depth").set(
             self.queue_depth)
         self.metrics.gauge("service.in_flight").set(self._in_flight)
-        document = {
+        for shard in self._shards:
+            shard.metrics.gauge("worker.queue_depth").set(
+                shard.queue.qsize())
+
+    def health_document(self, state: Optional[str] = None
+                        ) -> Dict[str, Any]:
+        """The ``repro-health/1`` document, rendered fresh.
+
+        ``written_unix`` and ``health_period_s`` let readers detect
+        staleness (a dead service stops heartbeating but the last
+        snapshot stays on disk); ``http`` publishes the observability
+        listener address for scrape clients like ``repro top``.
+        """
+        self._refresh_gauges()
+        document: Dict[str, Any] = {
             "schema": HEALTH_SCHEMA,
             "state": state or ("draining" if self._draining
                                else "running"),
             "ready": (not self._draining
                       and self.breaker.state != BreakerState.OPEN),
+            "written_unix": round(time.time(), 6),
+            "health_period_s": self.config.health_period_s,
             **self.status_summary(),
-            "metrics": self.metrics.as_dict(),
+            "metrics": self.scrape_snapshot(),
         }
-        atomic_write_json(self.paths.health_path, document)
+        if self.http_address is not None and \
+                document["state"] != "stopped":
+            document["http"] = {"host": self.http_address[0],
+                                "port": self.http_address[1]}
+        return document
+
+    def scrape_snapshot(self) -> Dict[str, Any]:
+        """Service + per-shard registries merged into one snapshot
+        (counters add, gauges last-write-wins, histograms combine)."""
+        return merge_snapshots(
+            [self.metrics.as_dict()]
+            + [shard.metrics.as_dict() for shard in self._shards])
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` body: the service registry unlabelled plus
+        every shard registry labelled ``shard="N"``, one exposition
+        family per metric name."""
+        self._refresh_gauges()
+        groups: list = [(self.metrics.as_dict(), None)]
+        groups.extend(
+            (shard.metrics.as_dict(), {"shard": str(shard.index)})
+            for shard in self._shards)
+        return render_groups(groups)
+
+    def _write_health(self, state: Optional[str] = None) -> None:
+        atomic_write_json(self.paths.health_path,
+                          self.health_document(state))
 
 
 # ----------------------------------------------------------------------
@@ -747,6 +877,7 @@ def service_status(state_dir: PathLike) -> Dict[str, Any]:
         health = json.loads(paths.health_path.read_text())
     except (OSError, ValueError):
         health = None
+    health_age_s, health_stale = _health_staleness(paths, health)
     journal_state = read_journal(paths.journal_path)
     return {
         "state_dir": str(paths.state_dir),
@@ -760,7 +891,44 @@ def service_status(state_dir: PathLike) -> Dict[str, Any]:
                     "torn_tail": journal_state.torn_tail,
                     "bad_lines": journal_state.bad_lines},
         "health": health,
+        "health_age_s": health_age_s,
+        "health_stale": health_stale,
     }
+
+
+def _health_staleness(paths: ServicePaths,
+                      health: Optional[Dict[str, Any]],
+                      now: Optional[float] = None,
+                      ) -> tuple:
+    """``(age_s, stale)`` for a health snapshot.
+
+    A snapshot claiming a live state (``running``/``draining``) whose
+    heartbeat is older than ``2 × health_period_s`` is *stale*: the
+    service died without writing its terminal snapshot, and the state
+    on disk describes the past.  ``written_unix`` is preferred;
+    snapshots predating that field fall back to the file mtime.
+    """
+    if health is None:
+        return None, False
+    now = time.time() if now is None else now
+    written = health.get("written_unix")
+    age_s: Optional[float] = None
+    if isinstance(written, (int, float)) and not isinstance(
+            written, bool):
+        age_s = max(0.0, now - float(written))
+    else:
+        try:
+            age_s = max(0.0,
+                        now - paths.health_path.stat().st_mtime)
+        except OSError:
+            return None, False
+    period = health.get("health_period_s")
+    if not isinstance(period, (int, float)) or isinstance(
+            period, bool) or period <= 0:
+        period = 0.25
+    stale = (health.get("state") != "stopped"
+             and age_s > 2.0 * float(period))
+    return age_s, stale
 
 
 def request_drain(state_dir: PathLike) -> pathlib.Path:

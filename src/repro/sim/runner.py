@@ -32,7 +32,8 @@ Checkpoint document (``repro-checkpoint/1``, written atomically)::
       "sim_time_s": 12.35,
       "events_processed": 48211,
       "digest": "sha256:...",
-      "job_id": "batch-007"          # optional service annotation
+      "job_id": "batch-007",         # optional service annotation
+      "trace_id": "9f2c..."          # optional trace correlation
     }
 
 No wall-clock fields — the same session checkpointed at the same sim
@@ -65,7 +66,7 @@ CHECKPOINT_SCHEMA = "repro-checkpoint/1"
 _REQUIRED_KEYS = ("schema", "spec", "sim_time_s", "events_processed",
                   "digest")
 #: Keys a checkpoint document may carry.
-_ALLOWED_KEYS = _REQUIRED_KEYS + ("job_id",)
+_ALLOWED_KEYS = _REQUIRED_KEYS + ("job_id", "trace_id")
 
 
 class SessionRunner:
@@ -143,6 +144,17 @@ class SessionRunner:
         if self._started:
             return self
         builder = self.builder
+        telemetry = builder.telemetry
+        if telemetry is not None and telemetry.profile_spans:
+            with telemetry.span("runner.start", self.now):
+                self._start_components()
+        else:
+            self._start_components()
+        self._started = True
+        return self
+
+    def _start_components(self) -> None:
+        builder = self.builder
         application = builder._need(builder.application, "application")
         application.start()
         if builder.status_bar_app is not None:
@@ -150,8 +162,6 @@ class SessionRunner:
         builder._need(builder.panel, "panel").start()
         builder._need(builder.driver, "driver").start()
         builder._need(builder.touch_source, "touch_source").start()
-        self._started = True
-        return self
 
     def advance(self, until_s: float,
                 max_events: Optional[int] = None) -> int:
@@ -171,7 +181,12 @@ class SessionRunner:
         until_s = min(float(until_s), self.duration_s)
         if until_s <= self.now:
             return 0
-        fired = self.sim.run_until(until_s, max_events)
+        telemetry = self.builder.telemetry
+        if telemetry is not None and telemetry.profile_spans:
+            with telemetry.span("runner.advance", self.now):
+                fired = self.sim.run_until(until_s, max_events)
+        else:
+            fired = self.sim.run_until(until_s, max_events)
         if max_events is not None and self.now < until_s:
             raise SimulationError(
                 f"event storm: slice to t={until_s:.6f}s exceeded "
@@ -194,10 +209,18 @@ class SessionRunner:
         driver = builder._need(builder.driver, "driver")
         meter = builder._need(builder.meter, "meter")
         policy = builder._need(builder.policy, "policy")
-        driver.stop()
-        panel.stop()
-        if builder.telemetry is not None:
-            finalize_telemetry(builder.telemetry, config, builder.sim,
+        telemetry = builder.telemetry
+        if telemetry is not None and telemetry.profile_spans:
+            # Recorded before finalize closes the hub, so the span
+            # reaches sinks and the span.*_seconds histogram.
+            with telemetry.span("runner.finish", self.now):
+                driver.stop()
+                panel.stop()
+        else:
+            driver.stop()
+            panel.stop()
+        if telemetry is not None:
+            finalize_telemetry(telemetry, config, builder.sim,
                                panel, meter, builder.injector,
                                builder.watchdog)
         self._finished = True
@@ -273,6 +296,7 @@ class SessionRunner:
 
     def checkpoint_document(self,
                             job_id: Optional[str] = None,
+                            trace_id: Optional[str] = None,
                             ) -> Dict[str, Any]:
         """The ``repro-checkpoint/1`` document for the current state.
 
@@ -313,12 +337,16 @@ class SessionRunner:
         }
         if job_id is not None:
             document["job_id"] = job_id
+        if trace_id is not None:
+            document["trace_id"] = trace_id
         return document
 
     def save_checkpoint(self, path: PathLike,
-                        job_id: Optional[str] = None) -> pathlib.Path:
+                        job_id: Optional[str] = None,
+                        trace_id: Optional[str] = None) -> pathlib.Path:
         """Write the checkpoint document atomically to ``path``."""
-        return atomic_write_json(path, self.checkpoint_document(job_id))
+        return atomic_write_json(
+            path, self.checkpoint_document(job_id, trace_id=trace_id))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,298 @@
+"""Job-scoped tracing: deterministic trace IDs and Perfetto export.
+
+A job's life is scattered across artifacts — journal records, per-run
+telemetry JSONL, checkpoints — and, after a SIGKILL, across *process
+generations*.  This module stitches the pieces back into one timeline.
+
+Two design decisions make that work without any coordination state:
+
+* **Trace IDs are deterministic.**  :func:`mint_trace_id` hashes
+  ``job_id`` + ``submitted_seq``, so the submit CLI, the service
+  ingesting a spool file, and a post-crash incarnation re-ingesting
+  the *same* spool file all derive the identical ID.  A job file may
+  carry its ``trace_id`` explicitly (``repro submit`` writes one), but
+  the scheme survives job files that predate the field.
+* **Export is journal-driven.**  The journal already records every
+  transition (ingest, attempt start, checkpoint, park, resume, done)
+  with ``wall_s`` stamps; :func:`journal_trace_events` folds those
+  records into Chrome trace-event JSON — the format Perfetto and
+  ``chrome://tracing`` load natively.  Each service generation becomes
+  a ``pid`` row, each job a stable ``tid`` lane, queue waits and
+  attempts become duration (``X``) slices, checkpoints and resumes
+  instants (``i``).  A kill mid-attempt leaves an unterminated span;
+  the exporter closes it at the last record seen and flags it
+  ``truncated`` so the gap is visible rather than silently dropped.
+
+Timestamps come from the journal's ``wall_s`` fields (seconds since
+the epoch, stamped by the service).  Records without ``wall_s`` (from
+journals written before tracing landed) fall back to a synthetic
+1 ms-per-record clock so old journals still render, just without real
+durations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from ..errors import TelemetryError
+from ..ioutil import atomic_write_json
+
+PathLike = Union[str, pathlib.Path]
+
+#: Lowercase-hex trace IDs, 8..64 chars (sha256 prefix by default).
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+#: Journal ops that terminate an attempt span, mapped to the slice
+#: name the closing produces.
+_ATTEMPT_END_OPS = {
+    "job_done": "attempt",
+    "job_failed": "attempt",
+    "attempt_failed": "attempt",
+    "job_parked": "attempt",
+}
+
+#: Journal ops rendered as instant events on the job's lane.
+_INSTANT_OPS = (
+    "checkpoint_written", "checkpoint_invalid",
+    "job_resumed", "job_rejected",
+)
+
+
+def mint_trace_id(job_id: str, submitted_seq: int = 0) -> str:
+    """Deterministically derive a job's trace ID.
+
+    Same inputs ⇒ same ID, which is the whole point: every process
+    that sees the job (submitter, first service generation, the
+    generation that resumes it after a kill) mints identically.
+    """
+    digest = hashlib.sha256(
+        f"{job_id}\x00{int(submitted_seq)}".encode("utf-8")).hexdigest()
+    return digest[:32]
+
+
+def validate_trace_id(trace_id: str) -> str:
+    """Check shape (lowercase hex, 8..64 chars); returns the ID."""
+    if not isinstance(trace_id, str) or not _TRACE_ID_RE.match(trace_id):
+        raise TelemetryError(
+            f"malformed trace id {trace_id!r} "
+            "(want 8..64 lowercase hex chars)",
+            context={"subsystem": "telemetry", "component": "tracing"})
+    return trace_id
+
+
+def _wall_ts_us(records: List[Dict[str, Any]]) -> List[float]:
+    """Per-record timestamps in microseconds, relative to the earliest
+    ``wall_s`` seen.  Records lacking ``wall_s`` get a synthetic
+    1 ms-per-record clock anchored at the previous real timestamp."""
+    base: Optional[float] = None
+    for record in records:
+        wall = record.get("wall_s")
+        if isinstance(wall, (int, float)) and not isinstance(wall, bool):
+            base = float(wall) if base is None else min(base, float(wall))
+    out: List[float] = []
+    last = 0.0
+    for index, record in enumerate(records):
+        wall = record.get("wall_s")
+        if isinstance(wall, (int, float)) and not isinstance(wall, bool) \
+                and base is not None:
+            ts = (float(wall) - base) * 1e6
+        else:
+            ts = last + 1000.0  # synthetic 1 ms step
+        last = max(last, ts)
+        out.append(ts)
+    return out
+
+
+def journal_trace_events(
+        records: Iterable[Mapping[str, Any]],
+        job_ids: Optional[Iterable[str]] = None) -> List[Dict[str, Any]]:
+    """Render journal records as Chrome trace events.
+
+    ``job_ids`` optionally restricts the export to certain jobs
+    (service-level records like ``service_start`` are always kept —
+    they delimit the generations).  Returns the ``traceEvents`` list;
+    wrap it with :func:`chrome_trace_document` before writing.
+    """
+    record_list = [dict(r) for r in records]
+    wanted = set(job_ids) if job_ids is not None else None
+    timestamps = _wall_ts_us(record_list)
+
+    events: List[Dict[str, Any]] = []
+    generation = 0
+    lanes: Dict[str, int] = {}          # job_id -> tid
+    named: set = set()                  # (pid, tid) thread_name emitted
+    # job_id -> (slice name, start ts, args) for the open span
+    open_spans: Dict[str, tuple] = {}
+    last_ts = 0.0
+
+    def lane_for(job_id: str) -> int:
+        if job_id not in lanes:
+            lanes[job_id] = len(lanes) + 1
+        return lanes[job_id]
+
+    def thread_meta(pid: int, tid: int, name: str) -> None:
+        if (pid, tid) in named:
+            return
+        named.add((pid, tid))
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": tid, "args": {"name": name}})
+
+    def args_of(record: Dict[str, Any]) -> Dict[str, Any]:
+        args = {k: v for k, v in record.items()
+                if k not in ("op", "seq", "wall_s")}
+        return args
+
+    def close_span(job_id: str, name: str, ts: float,
+                   record: Dict[str, Any],
+                   truncated: bool = False) -> None:
+        opened = open_spans.pop(job_id, None)
+        if opened is None:
+            return
+        span_name, start_ts, span_args, pid = opened
+        args = dict(span_args)
+        args.update(args_of(record))
+        if truncated:
+            args["truncated"] = True
+        events.append({
+            "ph": "X", "name": name or span_name, "cat": span_name,
+            "pid": pid, "tid": lane_for(job_id),
+            "ts": start_ts, "dur": max(0.0, ts - start_ts),
+            "args": args,
+        })
+
+    for record, ts in zip(record_list, timestamps):
+        last_ts = max(last_ts, ts)
+        op = record.get("op")
+        job_id = record.get("job_id")
+        if op == "service_start":
+            # A new process generation: close anything the previous
+            # one left open (it was killed mid-flight).
+            for orphan in list(open_spans):
+                close_span(orphan, "", ts, {}, truncated=True)
+            generation += 1
+            events.append({"ph": "M", "name": "process_name",
+                           "pid": generation,
+                           "args": {"name":
+                                    f"repro serve (gen {generation})"}})
+            events.append({"ph": "i", "name": "service_start", "s": "g",
+                           "pid": generation, "tid": 0, "ts": ts,
+                           "args": args_of(record)})
+            continue
+        pid = max(generation, 1)
+        if op == "service_stop":
+            events.append({"ph": "i", "name": "service_stop", "s": "g",
+                           "pid": pid, "tid": 0, "ts": ts,
+                           "args": args_of(record)})
+            continue
+        if not isinstance(job_id, str):
+            continue
+        if wanted is not None and job_id not in wanted:
+            continue
+        tid = lane_for(job_id)
+        thread_meta(pid, tid, f"job {job_id}")
+        if op == "job_ingested":
+            # Queue wait: ingest -> first attempt_start.
+            close_span(job_id, "", ts, {}, truncated=True)
+            open_spans[job_id] = ("queue_wait", ts,
+                                  args_of(record), pid)
+        elif op == "attempt_start":
+            close_span(job_id, "queue_wait", ts, record)
+            open_spans[job_id] = ("attempt", ts, args_of(record), pid)
+        elif op in _ATTEMPT_END_OPS:
+            close_span(job_id, op, ts, record)
+            if op == "job_parked":
+                # Parked jobs wait for re-dispatch: a fresh wait span.
+                open_spans[job_id] = ("parked_wait", ts,
+                                      args_of(record), pid)
+        elif op in _INSTANT_OPS:
+            if op == "job_resumed":
+                close_span(job_id, "parked_wait", ts, record)
+                open_spans[job_id] = ("attempt", ts,
+                                      args_of(record), pid)
+            else:
+                events.append({"ph": "i", "name": str(op), "s": "t",
+                               "pid": pid, "tid": tid, "ts": ts,
+                               "args": args_of(record)})
+        else:
+            events.append({"ph": "i", "name": str(op or "record"),
+                           "s": "t", "pid": pid, "tid": tid, "ts": ts,
+                           "args": args_of(record)})
+
+    # Journal ended with spans still open (service killed, or journal
+    # truncated): close them at the last timestamp, flagged.
+    for orphan in list(open_spans):
+        close_span(orphan, "", last_ts, {}, truncated=True)
+    return events
+
+
+def telemetry_trace_events(
+        events: Iterable[Mapping[str, Any]],
+        pid: int = 0) -> List[Dict[str, Any]]:
+    """Render a telemetry JSONL stream (one session's events) as
+    Chrome trace events.
+
+    Span events become ``X`` slices (their ``wall_s`` marks the span
+    *end*; the start is recovered from ``duration_s``), everything
+    else an instant on the session's lane.  ``wall_s`` here is seconds
+    since the hub's epoch, so timelines from different runs should be
+    exported separately (or distinguished via ``pid``).
+    """
+    out: List[Dict[str, Any]] = []
+    lanes: Dict[str, int] = {}
+    named: set = set()
+
+    def lane_for(session: str) -> int:
+        if session not in lanes:
+            lanes[session] = len(lanes) + 1
+        return lanes[session]
+
+    for event in events:
+        session = str(event.get("session", "session"))
+        tid = lane_for(session)
+        if (pid, tid) not in named:
+            named.add((pid, tid))
+            out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                        "tid": tid, "args": {"name": session}})
+        wall = event.get("wall_s")
+        wall_s = float(wall) if isinstance(wall, (int, float)) \
+            and not isinstance(wall, bool) else 0.0
+        kind = str(event.get("kind", "event"))
+        data = event.get("data")
+        data = dict(data) if isinstance(data, Mapping) else {}
+        if kind == "span":
+            duration = float(data.get("duration_s", 0.0) or 0.0)
+            out.append({
+                "ph": "X", "name": str(data.get("name", "span")),
+                "cat": "span", "pid": pid, "tid": tid,
+                "ts": max(0.0, (wall_s - duration)) * 1e6,
+                "dur": duration * 1e6,
+                "args": {"sim_s": event.get("sim_s")},
+            })
+        else:
+            out.append({"ph": "i", "name": kind, "s": "t", "pid": pid,
+                        "tid": tid, "ts": wall_s * 1e6,
+                        "args": {"sim_s": event.get("sim_s"), **data}})
+    return out
+
+
+def chrome_trace_document(
+        trace_events: List[Dict[str, Any]],
+        metadata: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+    """Wrap a ``traceEvents`` list into the JSON object format
+    Perfetto and ``chrome://tracing`` load."""
+    document: Dict[str, Any] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        document["metadata"] = dict(metadata)
+    return document
+
+
+def write_chrome_trace(path: PathLike,
+                       document: Mapping[str, Any]) -> None:
+    """Atomically write a Chrome trace JSON document."""
+    atomic_write_json(pathlib.Path(path), dict(document))

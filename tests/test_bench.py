@@ -17,7 +17,7 @@ from repro.errors import ConfigurationError
 METRICS = ("meter_compare_9k_s", "spec_roundtrip_s",
            "native_session_s", "trace_replay_s",
            "batch32_workers1_s", "batch32_workersN_s",
-           "batch32_speedup_x")
+           "batch32_speedup_x", "expose_render_s")
 
 
 def _document(fast=False, **values):

@@ -191,6 +191,24 @@ class TestJournal:
         assert state.count("service_start") == 1
         assert state.damage.damaged
 
+    def test_reopen_heals_torn_tail_before_appending(self, tmp_path):
+        # A torn final line must cost exactly one record: the next
+        # incarnation's appends land on a fresh line, not welded onto
+        # the torn garbage.
+        path = tmp_path / "journal.jsonl"
+        first = Journal(path, fsync=False)
+        first.append("service_start")
+        first.append("job_ingested", job_id="j1")
+        first.close()
+        path.write_bytes(path.read_bytes()[:-5])
+        second = Journal(path, fsync=False)
+        second.append("service_start")
+        second.close()
+        state = read_journal(path)
+        assert state.count("service_start") == 2
+        assert state.bad_lines == 1
+        assert not state.torn_tail
+
     def test_ops_for_filters_by_job(self, tmp_path):
         path = tmp_path / "journal.jsonl"
         journal = Journal(path, fsync=False)
