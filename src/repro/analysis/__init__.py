@@ -21,6 +21,14 @@ from .latency import (
     touch_response_latencies,
 )
 from .stats import MeanStd, mean_std, percentile_of_apps, savings_percent
+from .sweep import (
+    SWEEP_SCHEMA,
+    compare_sweep,
+    expand_grid,
+    format_sweep,
+    parse_grid,
+    run_sweep,
+)
 from .tables import format_table
 
 __all__ = [
@@ -35,6 +43,12 @@ __all__ = [
     "mean_std",
     "percentile_of_apps",
     "savings_percent",
+    "SWEEP_SCHEMA",
+    "compare_sweep",
+    "expand_grid",
+    "format_sweep",
+    "parse_grid",
+    "run_sweep",
     "session_jank",
     "session_summary_dict",
     "session_touch_latency",

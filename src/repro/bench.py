@@ -17,7 +17,11 @@ about:
   the parallel batch engine pays to ship sessions to workers;
 * **exposition render** — one Prometheus text render of a busy
   metrics registry (the cost every ``/metrics`` scrape pays inside
-  the service's event loop, so it must stay small).
+  the service's event loop, so it must stay small);
+* **cache-warm sweep** — one small parameter sweep cold then warm
+  through the content-addressed result cache, yielding
+  ``sweep_warm_vs_cold_x`` (how much a cached answer beats
+  recomputing it — the cache's reason to exist).
 
 Every metric is emitted in a machine-readable JSON document
 (``BENCH_<rev>.json``; schema below) next to a human table, and
@@ -197,6 +201,46 @@ def _time_expose_render(repeats: int) -> float:
     return float(np.min(timings))
 
 
+def _time_sweep_warm_cold(duration_s: float) -> Dict[str, float]:
+    """Wall seconds of one small sweep, cold then cache-warm.
+
+    The sweep is a 2-governor x 2-seed grid through
+    :func:`repro.analysis.sweep.run_sweep` with a fresh
+    :class:`~repro.cache.ResultCache`: the first pass computes and
+    stores every cell, the second is served entirely from disk.  The
+    ratio ``cold / warm`` is the cache's reason to exist — it must
+    stay comfortably above 1, and the gate (with a loose per-metric
+    threshold; the warm pass is microseconds, so the ratio is noisy)
+    keeps a regression from silently re-simulating cached cells.
+    """
+    import tempfile
+
+    from .analysis.sweep import run_sweep
+    from .cache import ResultCache
+    from .pipeline.spec import SessionSpec
+
+    base = SessionSpec(app="Facebook", duration_s=duration_s)
+    grid = {"governor": ["fixed", "section+boost"]}
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        t0 = time.perf_counter()
+        cold_doc = run_sweep(base, grid, seeds=(0, 1), workers=1,
+                             cache=cache)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm_doc = run_sweep(base, grid, seeds=(0, 1), workers=1,
+                             cache=cache)
+        warm_s = time.perf_counter() - t0
+        stats = cache.stats_dict()
+    cells = len(cold_doc["cells"])
+    if stats["hits"] != cells or cold_doc != warm_doc:
+        raise ConfigurationError(
+            f"sweep cache bench is broken: {stats['hits']} hits for "
+            f"{cells} cells, documents "
+            f"{'equal' if cold_doc == warm_doc else 'differ'}")
+    return {"cold_s": cold_s, "warm_s": warm_s}
+
+
 def _time_trace_replay(duration_s: float, best_of: int) -> float:
     """Best wall seconds of one trace-replay session.
 
@@ -260,6 +304,9 @@ def run_bench(workers: Optional[int] = None,
     parallel_s = _time_batch(configs, workers=workers,
                              best_of=best_of)
     speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    sweep = _time_sweep_warm_cold(2.0 if fast else 5.0)
+    sweep_x = (sweep["cold_s"] / sweep["warm_s"]
+               if sweep["warm_s"] > 0 else 0.0)
 
     return {
         "schema": BENCH_SCHEMA,
@@ -279,6 +326,8 @@ def run_bench(workers: Optional[int] = None,
             "batch32_workersN_s": _metric(parallel_s, "s"),
             "batch32_speedup_x": _metric(speedup, "x",
                                          higher_is_better=True),
+            "sweep_warm_vs_cold_x": _metric(sweep_x, "x",
+                                            higher_is_better=True),
         },
     }
 
@@ -410,18 +459,27 @@ def format_bench(bench: Dict,
     """The human table for one bench document.
 
     With ``baseline``, adds a delta column (signed percent change per
-    metric, against the baseline value).
+    metric, against the baseline value).  Metrics the core-aware gate
+    excludes (see :func:`gate_skips`) show ``SKIPPED (core-aware)``
+    there instead of a delta — printing the committed
+    ``batch32_speedup_x`` change next to gated metrics reads as a
+    verdict the gate never issued.
     """
     headers = ["metric", "value", "unit", "better"]
+    skipped = set()
     if baseline is not None:
         headers.append("vs baseline")
+        skipped = {skip["metric"]
+                   for skip in gate_skips(bench, baseline)}
     rows = []
     for name, metric in bench["metrics"].items():
         row = [name, f"{metric['value']:.4g}", metric["unit"],
                "higher" if metric["higher_is_better"] else "lower"]
         if baseline is not None:
             base = baseline["metrics"].get(name)
-            if base is None or base["value"] == 0:
+            if name in skipped:
+                row.append("SKIPPED (core-aware)")
+            elif base is None or base["value"] == 0:
                 row.append("-")
             else:
                 delta = 100.0 * (metric["value"] / base["value"] - 1.0)

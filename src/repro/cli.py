@@ -90,7 +90,68 @@ def build_parser() -> argparse.ArgumentParser:
                             "sessions (default 1: in-process; the "
                             "parallel batch runner guarantees "
                             "identical numbers at any count)")
+    p_cmp.add_argument("--cache", default=None, metavar="DIR",
+                       help="content-addressed result cache directory "
+                            "(reused across runs; identical sessions "
+                            "are served from disk, byte-identical to "
+                            "recomputing)")
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="parameter-grid sweep with multi-seed "
+                      "statistics, result caching and a regression "
+                      "check")
+    p_sweep.add_argument("--app", required=True,
+                         help="base application (each --grid axis "
+                              "overrides one spec field)")
+    p_sweep.add_argument("--governor", default="section+boost",
+                         help="base governor (default section+boost)")
+    p_sweep.add_argument("--duration", type=float, default=45.0,
+                         help="base session duration in seconds")
+    p_sweep.add_argument("--panel", default="galaxy-s3",
+                         help="base panel preset")
+    p_sweep.add_argument("--grid", action="append", default=None,
+                         metavar="FIELD=V1,V2",
+                         help="one grid axis over a spec field "
+                              "(repeatable; cells are the cartesian "
+                              "product)")
+    p_sweep.add_argument("--seeds", default="1", metavar="S1,S2,...",
+                         help="comma-separated replication seeds; "
+                              "aggregates report mean ±95%% CI across "
+                              "them (default: 1)")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="worker processes (default 1; the "
+                              "document is identical at any count)")
+    p_sweep.add_argument("--cache", default=None, metavar="DIR",
+                         help="content-addressed result cache "
+                              "directory: repeated cells are served "
+                              "from disk, byte-identical to "
+                              "recomputing")
+    p_sweep.add_argument("--cache-max-entries", type=int, default=None,
+                         metavar="N",
+                         help="evict oldest cache entries beyond N "
+                              "after the sweep")
+    p_sweep.add_argument("--out", default=None, metavar="PATH",
+                         help="write the deterministic repro-sweep/1 "
+                              "document (byte-diffable cold vs warm)")
+    p_sweep.add_argument("--stats-out", default=None, metavar="PATH",
+                         help="write the nondeterministic run stats "
+                              "(wall clock, cache hit/miss counts)")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="print the sweep document as JSON "
+                              "instead of the aggregate table")
+    p_sweep.add_argument("--check", default=None, metavar="REFERENCE",
+                         help="diff against a committed repro-sweep/1 "
+                              "reference; regressions exit 1")
+    p_sweep.add_argument("--threshold", type=float, default=0.05,
+                         help="allowed worsening per metric mean as a "
+                              "fraction of the reference (default "
+                              "0.05)")
+    p_sweep.add_argument("--metric-threshold", action="append",
+                         default=None, metavar="NAME=FRACTION",
+                         help="per-metric threshold override "
+                              "(repeatable)")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_export = sub.add_parser(
         "export", help="run a session and dump its traces")
@@ -277,6 +338,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "127.0.0.1:PORT (0 picks an ephemeral "
                               "port, published in health.json; "
                               "default: no listener)")
+    p_serve.add_argument("--cache", default=None, metavar="DIR",
+                         help="content-addressed result cache "
+                              "directory: jobs whose spec is already "
+                              "cached complete without simulating, "
+                              "and finished jobs populate the cache")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -522,8 +588,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
         app=args.app, governor=governor, duration_s=args.duration,
         seed=args.seed, panel=panel_preset(args.panel),
         faults=faults) for governor in governors]
+    cache = None
+    if args.cache is not None:
+        from .cache import ResultCache
+        cache = ResultCache(args.cache)
     summaries = run_batch(configs, workers=args.workers,
-                          on_error="raise")
+                          on_error="raise", cache=cache)
+    if cache is not None:
+        cache.write_index()
     base = summaries[0]
     base_power = base["mean_power_mw"]
     rows = [["fixed", f"{base_power:.0f}", "0", "100.0",
@@ -541,6 +613,115 @@ def cmd_compare(args: argparse.Namespace) -> int:
         rows,
         title=f"{args.app}: identical {args.duration:g} s workload "
               f"(seed {args.seed})"))
+    return 0
+
+
+def _parse_metric_thresholds(items) -> dict:
+    """``NAME=FRACTION`` override arguments -> ``{name: fraction}``."""
+    overrides = {}
+    for item in items or ():
+        name, _, value = item.partition("=")
+        if not name or not value:
+            raise ConfigurationError(
+                f"--metric-threshold expects NAME=FRACTION, got "
+                f"{item!r}")
+        try:
+            overrides[name] = float(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"--metric-threshold {item!r}: {value!r} is not "
+                f"a number") from None
+    return overrides
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    import sys
+    import time
+
+    from .analysis.sweep import (
+        SWEEP_SCHEMA,
+        SWEEP_STATS_SCHEMA,
+        compare_sweep,
+        format_regressions,
+        format_sweep,
+        parse_grid,
+        run_sweep,
+    )
+    from .ioutil import atomic_write_json
+    from .pipeline.spec import SessionSpec
+    # Load the reference before the (slow) sweep so a missing or
+    # malformed one fails fast.
+    reference = None
+    if args.check:
+        try:
+            reference = json.loads(
+                pathlib.Path(args.check).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cannot read sweep reference {args.check!r}: "
+                f"{exc}") from None
+        if not isinstance(reference, dict) or \
+                reference.get("schema") != SWEEP_SCHEMA:
+            raise ConfigurationError(
+                f"{args.check!r} is not a {SWEEP_SCHEMA} document")
+    overrides = _parse_metric_thresholds(args.metric_threshold)
+    grid = {}
+    for item in args.grid or ():
+        field, values = parse_grid(item)
+        if field in grid:
+            raise ConfigurationError(
+                f"grid axis {field!r} given twice")
+        grid[field] = values
+    try:
+        seeds = [int(part) for part in args.seeds.split(",")
+                 if part.strip()]
+    except ValueError:
+        raise ConfigurationError(
+            f"--seeds expects comma-separated integers, got "
+            f"{args.seeds!r}") from None
+    base = SessionSpec(app=args.app, governor=args.governor,
+                       duration_s=args.duration, panel=args.panel)
+    cache = None
+    if args.cache is not None:
+        from .cache import ResultCache
+        cache = ResultCache(args.cache)
+    started = time.perf_counter()
+    document = run_sweep(base, grid, seeds=seeds,
+                         workers=args.workers, cache=cache)
+    wall_s = time.perf_counter() - started
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(format_sweep(document))
+    if args.out:
+        atomic_write_json(args.out, document)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if cache is not None:
+        if args.cache_max_entries is not None:
+            cache.prune(args.cache_max_entries)
+        cache.write_index()
+        from .cache import hit_rate
+        hits, lookups, fraction = hit_rate(cache.stats_dict())
+        print(f"cache: {hits}/{lookups} hits "
+              f"({100 * fraction:.0f}%) in {wall_s:.2f} s",
+              file=sys.stderr)
+    if args.stats_out:
+        atomic_write_json(args.stats_out, {
+            "schema": SWEEP_STATS_SCHEMA,
+            "wall_s": wall_s,
+            "cells": len(document["cells"]),
+            "cache": cache.stats_dict() if cache is not None
+            else None,
+        })
+        print(f"wrote {args.stats_out}", file=sys.stderr)
+    if reference is not None:
+        regressions = compare_sweep(document, reference,
+                                    args.threshold,
+                                    overrides or None)
+        print(format_regressions(regressions))
+        return 1 if regressions else 0
     return 0
 
 
@@ -675,19 +856,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                            None if args.out == "auto" else args.out)
         print(f"wrote {path}", file=sys.stderr)
     if args.check:
-        overrides = {}
-        for item in args.metric_threshold or ():
-            name, _, value = item.partition("=")
-            if not name or not value:
-                raise ConfigurationError(
-                    f"--metric-threshold expects NAME=FRACTION, got "
-                    f"{item!r}")
-            try:
-                overrides[name] = float(value)
-            except ValueError:
-                raise ConfigurationError(
-                    f"--metric-threshold {item!r}: {value!r} is not "
-                    f"a number") from None
+        overrides = _parse_metric_thresholds(args.metric_threshold)
         return main_check(bench, args.check, args.threshold,
                           metric_thresholds=overrides or None)
     return 0
@@ -801,6 +970,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_runtime_s=args.max_runtime,
         fsync_journal=not args.no_fsync,
         http_port=args.http,
+        cache_dir=args.cache,
     )
     service = SessionService(config)
     print(f"serving {args.state_dir} "

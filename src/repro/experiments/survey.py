@@ -11,7 +11,7 @@ does not repeat ~90 sessions per figure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from ..analysis.aggregate import AppMeasurement
 from ..apps.catalog import all_app_names, app_profile
@@ -21,6 +21,9 @@ from ..power.model import PowerModel
 from ..sim.batch import run_batch
 from ..sim.session import SessionConfig, SessionResult, run_session
 from ..units import ensure_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cache import ResultCache
 
 #: Baseline governor name every comparison is made against.
 BASELINE = "fixed"
@@ -170,7 +173,8 @@ def run_survey(config: SurveyConfig = None) -> SurveyResult:
 
 
 def run_survey_summaries(config: SurveyConfig = None,
-                         workers: int = None) -> SurveySummaries:
+                         workers: int = None,
+                         cache: "ResultCache" = None) -> SurveySummaries:
     """Run (or fetch from cache) the summary-level sweep in parallel.
 
     The sweep's ~90 sessions are independent, making it the repo's
@@ -179,14 +183,18 @@ def run_survey_summaries(config: SurveyConfig = None,
     (``None``: one per CPU) and fail fast on any session error.  The
     batch runner's deterministic merge means the result — and
     therefore every figure built on it — is identical for any worker
-    count.  The cache is keyed by sweep config only; a cached result
-    satisfies any later ``workers`` value.
+    count.  The in-process memo is keyed by sweep config only; a
+    cached result satisfies any later ``workers`` value.  ``cache``
+    additionally threads a durable
+    :class:`~repro.cache.ResultCache` through the batch runner, so a
+    sweep repeated across *processes* is served from disk instead of
+    recomputed (byte-identical either way).
     """
     config = config or SurveyConfig()
     if config in _SUMMARY_CACHE:
         return _SUMMARY_CACHE[config]
     entries = run_batch(_sweep_configs(config), workers=workers,
-                        on_error="raise")
+                        on_error="raise", cache=cache)
     summaries: Dict[str, Dict[str, Dict]] = {}
     flat = iter(entries)
     for app in config.apps:

@@ -59,10 +59,11 @@ import json
 import math
 import multiprocessing
 import pathlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
 from ..analysis.export import session_summary_dict
 from ..errors import ConfigurationError, WorkerCrashError
@@ -73,6 +74,9 @@ from ..pipeline.spec import SessionSpec
 from ..telemetry.events import interleave_streams
 from ..telemetry.metrics import MetricsRegistry
 from .session import SessionConfig, run_session
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cache import ResultCache
 
 #: What one batch item looks like on the wire: ``(input slot, spec
 #: document | config object)``.  Specs are the normal form (see
@@ -434,7 +438,8 @@ def run_batch(configs: Sequence[SessionConfig],
               = None,
               mp_context: str = "spawn",
               chunksize: Optional[int] = None,
-              stream_path: Optional[str] = None) -> List[Dict]:
+              stream_path: Optional[str] = None,
+              cache: Optional["ResultCache"] = None) -> List[Dict]:
     """Run many sessions, in parallel when it pays off.
 
     Parameters
@@ -492,6 +497,18 @@ def run_batch(configs: Sequence[SessionConfig],
         per-session ``jsonl_path`` sinks sharing one path would
         overwrite each other across workers.  Sessions without
         telemetry contribute nothing.
+    cache:
+        A :class:`~repro.cache.ResultCache`.  Cacheable configs are
+        looked up *before* dispatch — hits fill their result slots
+        without running (or pooling) anything — and every freshly
+        computed success is stored back on completion, write-once.
+        Because sessions are deterministic, a cached batch is
+        byte-identical to an uncached one (results, merged metrics
+        and interleaved telemetry streams alike); only wall clock
+        changes.  Failure records are never cached, and uncacheable
+        configs (trace replays, JSONL-sink telemetry, lossy specs —
+        see ``docs/caching.md``) simply run as usual.  ``progress``
+        still fires once per config; cache hits resolve first.
     """
     configs = list(configs)
     if not configs:
@@ -536,12 +553,48 @@ def run_batch(configs: Sequence[SessionConfig],
         if progress is not None:
             progress(done, total, entry)
 
-    if count == 1 or total == 1:
-        payloads = _run_serial(indexed, retries, strict, capture, _note)
-    else:
-        payloads = _run_pooled(indexed, count, retries, timeout_s,
-                               strict, capture, mp_context, chunksize,
-                               _note)
+    # Cache lookup before dispatch: hits fill their slots now, misses
+    # keep their keys for the populate-on-completion pass below.
+    slots: List[Optional[Dict]] = [None] * total
+    miss_keys: Dict[int, str] = {}
+    to_run = indexed
+    if cache is not None:
+        to_run = []
+        for index, config in indexed:
+            key = cache.key_for(config, capture=capture)
+            if key is not None:
+                hit = cache.get(key)
+                if hit is not None:
+                    slots[index] = hit
+                    continue
+                miss_keys[index] = key
+            to_run.append((index, config))
+    done = 0
+    for index in range(total):
+        if slots[index] is not None:
+            done += 1
+            _note(done, slots[index]["entry"])
+
+    def _note_run(resolved: int, entry: Dict) -> None:
+        _note(done + resolved, entry)
+
+    if to_run:
+        if count == 1 or len(to_run) == 1:
+            run_payloads = _run_serial(to_run, retries, strict,
+                                       capture, _note_run)
+        else:
+            run_payloads = _run_pooled(to_run, count, retries,
+                                       timeout_s, strict, capture,
+                                       mp_context, chunksize,
+                                       _note_run)
+        for (index, _), payload in zip(to_run, run_payloads):
+            slots[index] = payload
+            key = miss_keys.get(index)
+            if cache is not None and key is not None and \
+                    not is_failure_record(payload["entry"]):
+                cache.put(key, payload)
+    assert all(slot is not None for slot in slots)
+    payloads = slots
     if stream_path is not None:
         _write_stream(stream_path, payloads)
     return [payload["entry"] for payload in payloads]
@@ -585,20 +638,35 @@ def _run_pooled(indexed: List[Tuple[int, SessionConfig]],
         return _run_serial(indexed, retries, strict, capture, note)
 
     plugins = _registry_plugins()
-    slots: List[Optional[Dict]] = [None] * total
+    # Keyed by *global* config index (the batch may be a cache-miss
+    # subset of the full config list, so indices need not be dense).
+    by_index: Dict[int, Dict] = {}
     clean = False
     try:
-        futures = [executor.submit(
-                       _run_chunk,
-                       [_encode_item(index, config)
-                        for index, config in chunk],
-                       retries, strict, capture, plugins)
-                   for chunk in chunks]
+        # A lethal config can break the pool while later chunks are
+        # still being submitted; submit() then raises
+        # BrokenProcessPool itself.  Those chunks get no future and go
+        # straight to the salvage path below.
+        futures: List[Optional["Future[List[Dict]]"]] = []
+        submit_broken = False
+        for chunk in chunks:
+            if submit_broken:
+                futures.append(None)
+                continue
+            try:
+                futures.append(executor.submit(
+                    _run_chunk,
+                    [_encode_item(index, config)
+                     for index, config in chunk],
+                    retries, strict, capture, plugins))
+            except BrokenProcessPool:
+                submit_broken = True
+                futures.append(None)
         broken = False
         timed_out = False
         done = 0
         for chunk, future in zip(chunks, futures):
-            if broken:
+            if broken or future is None:
                 payloads = _salvage_chunk(chunk, retries, timeout_s,
                                           strict, capture, ctx, plugins)
             else:
@@ -614,14 +682,14 @@ def _run_pooled(indexed: List[Tuple[int, SessionConfig]],
                                               strict, capture, ctx,
                                               plugins)
             for (index, _), payload in zip(chunk, payloads):
-                slots[index] = payload
+                by_index[index] = payload
                 done += 1
                 note(done, payload["entry"])
-        clean = not (timed_out or broken)
+        clean = not (timed_out or broken or submit_broken)
     finally:
         _shutdown(executor, force=not clean)
-    assert all(slot is not None for slot in slots)
-    return slots  # type: ignore[return-value]
+    assert len(by_index) == total
+    return [by_index[index] for index, _ in indexed]
 
 
 def _probe_pool(executor: ProcessPoolExecutor) -> bool:

@@ -17,7 +17,8 @@ from repro.errors import ConfigurationError
 METRICS = ("meter_compare_9k_s", "spec_roundtrip_s",
            "native_session_s", "trace_replay_s",
            "batch32_workers1_s", "batch32_workersN_s",
-           "batch32_speedup_x", "expose_render_s")
+           "batch32_speedup_x", "expose_render_s",
+           "sweep_warm_vs_cold_x")
 
 
 def _document(fast=False, **values):
@@ -172,6 +173,23 @@ class TestCoreAwareGate:
         regressed = {r["metric"] for r in
                      compare_bench(current, baseline)}
         assert regressed == {"native_session_s"}
+
+    def test_report_annotates_skipped_metrics(self):
+        """A skipped metric must not print a misleading delta."""
+        current, baseline = self._docs(base_cores=1, cur_cores=8)
+        text = format_bench(current, baseline)
+        for line in text.splitlines():
+            if "batch32_speedup_x" in line or \
+                    "batch32_workersN_s" in line:
+                assert "SKIPPED (core-aware)" in line
+                assert "%" not in line
+            elif "native_session_s" in line:
+                assert "SKIPPED" not in line
+                assert "%" in line
+
+    def test_report_unskipped_has_no_annotation(self):
+        current, baseline = self._docs(base_cores=4, cur_cores=4)
+        assert "SKIPPED" not in format_bench(current, baseline)
 
 
 class TestPerMetricThresholds:

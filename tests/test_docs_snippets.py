@@ -17,7 +17,8 @@ class TestDocsExist:
                                       "calibration.md",
                                       "api_tour.md",
                                       "architecture.md",
-                                      "traces.md"])
+                                      "traces.md",
+                                      "caching.md"])
     def test_doc_present_and_substantial(self, name):
         path = REPO_ROOT / "docs" / name
         assert path.stat().st_size > 1500, name

@@ -1,0 +1,246 @@
+"""Tests for parameter-grid sweeps (`repro.analysis.sweep`)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.analysis.sweep import (
+    METRIC_FIELDS,
+    SWEEP_SCHEMA,
+    compare_sweep,
+    expand_grid,
+    format_regressions,
+    format_sweep,
+    parse_grid,
+    run_sweep,
+)
+from repro.cache import ResultCache
+from repro.errors import ConfigurationError
+from repro.pipeline.spec import SessionSpec
+
+BASE = SessionSpec(app="Facebook", duration_s=2.0)
+GRID = {"governor": ["fixed", "section+boost"]}
+
+
+@pytest.fixture(scope="module")
+def document():
+    return run_sweep(BASE, GRID, seeds=[0, 1], workers=1)
+
+
+class TestParseGrid:
+    def test_values_coerce_to_field_types(self):
+        assert parse_grid("governor=fixed,section") == \
+            ("governor", ["fixed", "section"])
+        assert parse_grid("duration_s=2,3.5") == \
+            ("duration_s", [2.0, 3.5])
+        assert parse_grid("table_bias=-1,0,1") == \
+            ("table_bias", [-1, 0, 1])
+        assert parse_grid("track_oled=true,false") == \
+            ("track_oled", [True, False])
+
+    def test_duplicates_dedupe_in_order(self):
+        assert parse_grid("governor=a,b,a") == ("governor", ["a", "b"])
+
+    def test_malformed_axes_rejected(self):
+        for bad in ("governor", "=x", "governor=",
+                    "no_such_field=1", "duration_s=abc",
+                    "meter=1", "seed=1,2"):
+            with pytest.raises(ConfigurationError):
+                parse_grid(bad)
+
+
+class TestExpandGrid:
+    def test_cartesian_product_sorted_axes(self):
+        cells = expand_grid({"b": [1, 2], "a": ["x", "y"]})
+        assert cells == [{"a": "x", "b": 1}, {"a": "x", "b": 2},
+                         {"a": "y", "b": 1}, {"a": "y", "b": 2}]
+
+    def test_empty_grid_is_one_base_cell(self):
+        assert expand_grid({}) == [{}]
+
+
+class TestRunSweep:
+    def test_document_shape(self, document):
+        assert document["schema"] == SWEEP_SCHEMA
+        assert document["seeds"] == [0, 1]
+        assert len(document["cells"]) == 4
+        assert len(document["aggregates"]) == 2
+        for cell in document["cells"]:
+            assert cell["spec_digest"].startswith("sha256:")
+            assert set(cell["metrics"]) == set(METRIC_FIELDS)
+        for aggregate in document["aggregates"]:
+            stats = aggregate["metrics"]["mean_power_mw"]
+            assert stats["n"] == 2
+            assert stats["mean"] > 0
+            assert stats["ci95"] == pytest.approx(
+                1.96 * stats["std"] / (2 ** 0.5))
+
+    def test_single_seed_has_zero_ci(self):
+        document = run_sweep(BASE, {}, seeds=[1], workers=1)
+        stats = document["aggregates"][0]["metrics"]["mean_power_mw"]
+        assert stats == {"mean": stats["mean"], "std": 0.0,
+                         "ci95": 0.0, "n": 1}
+
+    def test_worker_count_never_changes_the_document(self, document):
+        pooled = run_sweep(BASE, GRID, seeds=[0, 1], workers=2)
+        assert json.dumps(pooled, sort_keys=True) == \
+            json.dumps(document, sort_keys=True)
+
+    def test_warm_sweep_is_byte_identical(self, document, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_sweep(BASE, GRID, seeds=[0, 1], workers=1,
+                         cache=cache)
+        warm = run_sweep(BASE, GRID, seeds=[0, 1], workers=1,
+                         cache=cache)
+        text = json.dumps(document, sort_keys=True)
+        assert json.dumps(cold, sort_keys=True) == text
+        assert json.dumps(warm, sort_keys=True) == text
+        stats = cache.stats_dict()
+        assert stats["hits"] == len(document["cells"])
+        assert stats["misses"] == len(document["cells"])
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(BASE, GRID, seeds=[])
+
+    def test_document_is_strict_json(self, document):
+        json.dumps(document, allow_nan=False)
+
+
+class TestCompareSweep:
+    def test_self_comparison_is_clean(self, document):
+        assert compare_sweep(document, document) == []
+
+    def test_worsened_metric_flags_direction_aware(self, document):
+        reference = copy.deepcopy(document)
+        target = reference["aggregates"][0]["metrics"]
+        target["mean_power_mw"]["mean"] *= 0.5  # current looks +100%
+        target["display_quality"]["mean"] *= 2.0  # current looks -50%
+        regressions = compare_sweep(document, reference,
+                                    threshold=0.05)
+        flagged = {r["metric"] for r in regressions}
+        assert flagged == {"mean_power_mw", "display_quality"}
+
+    def test_improvement_never_flags(self, document):
+        reference = copy.deepcopy(document)
+        target = reference["aggregates"][0]["metrics"]
+        target["mean_power_mw"]["mean"] *= 2.0  # current is better
+        target["display_quality"]["mean"] *= 0.5  # current is better
+        assert compare_sweep(document, reference) == []
+
+    def test_missing_cell_is_a_regression(self, document):
+        current = copy.deepcopy(document)
+        del current["aggregates"][1]
+        regressions = compare_sweep(current, document)
+        assert len(regressions) == 1
+        assert "missing" in regressions[0]["reason"]
+
+    def test_per_metric_threshold_overrides(self, document):
+        reference = copy.deepcopy(document)
+        target = reference["aggregates"][0]["metrics"]
+        target["mean_power_mw"]["mean"] /= 1.2  # current looks +20%
+        assert compare_sweep(document, reference,
+                             threshold=0.05) != []
+        assert compare_sweep(
+            document, reference, threshold=0.05,
+            metric_thresholds={"mean_power_mw": 0.5}) == []
+
+    def test_bad_thresholds_rejected(self, document):
+        with pytest.raises(ConfigurationError):
+            compare_sweep(document, document, threshold=-1.0)
+        with pytest.raises(ConfigurationError):
+            compare_sweep(document, document,
+                          metric_thresholds={"mean_power_mw": -0.1})
+
+    def test_format_regressions(self, document):
+        assert "OK" in format_regressions([])
+        reference = copy.deepcopy(document)
+        reference["aggregates"][0]["metrics"]["mean_power_mw"][
+            "mean"] *= 0.5
+        text = format_regressions(compare_sweep(document, reference))
+        assert "1 regression(s)" in text
+        assert "mean_power_mw" in text
+
+
+class TestFormatSweep:
+    def test_table_lists_every_cell(self, document):
+        text = format_sweep(document)
+        assert "2 cells x 2 seeds" in text
+        assert "governor=fixed" in text
+        assert "governor=section+boost" in text
+
+
+class TestCli:
+    def _run(self, capsys, *argv):
+        from repro.cli import main
+        code = main(list(argv))
+        out = capsys.readouterr()
+        return code, out.out, out.err
+
+    def test_sweep_cold_warm_check_cycle(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        out_cold = str(tmp_path / "cold.json")
+        out_warm = str(tmp_path / "warm.json")
+        stats_out = str(tmp_path / "stats.json")
+        argv = ["sweep", "--app", "Facebook", "--duration", "2",
+                "--grid", "governor=fixed,section+boost",
+                "--seeds", "0,1", "--cache", cache]
+        code, out, _ = self._run(capsys, *argv, "--out", out_cold)
+        assert code == 0
+        assert "2 cells x 2 seeds" in out
+        code, _, err = self._run(capsys, *argv, "--out", out_warm,
+                                 "--stats-out", stats_out)
+        assert code == 0
+        assert "4/4 hits (100%)" in err
+        with open(out_cold, "rb") as cold_handle, \
+                open(out_warm, "rb") as warm_handle:
+            assert cold_handle.read() == warm_handle.read()
+        stats = json.loads(open(stats_out).read())
+        assert stats["cache"]["hits"] == stats["cells"] == 4
+        # Self-check against the cold document passes...
+        code, out, _ = self._run(capsys, *argv, "--check", out_cold)
+        assert code == 0
+        assert "sweep check: OK" in out
+        # ... and a doctored reference fails with exit 1.
+        reference = json.loads(open(out_cold).read())
+        reference["aggregates"][0]["metrics"]["mean_power_mw"][
+            "mean"] *= 0.5
+        doctored = tmp_path / "reference.json"
+        doctored.write_text(json.dumps(reference))
+        code, out, _ = self._run(capsys, *argv,
+                                 "--check", str(doctored))
+        assert code == 1
+        assert "regression(s)" in out
+
+    def test_sweep_json_output(self, tmp_path, capsys):
+        code, out, _ = self._run(
+            capsys, "sweep", "--app", "Facebook", "--duration", "2",
+            "--seeds", "1")
+        assert code == 0
+        code, out, _ = self._run(
+            capsys, "sweep", "--app", "Facebook", "--duration", "2",
+            "--seeds", "1", "--json")
+        assert json.loads(out)["schema"] == SWEEP_SCHEMA
+
+    def test_sweep_cache_max_entries_prunes(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        code, _, _ = self._run(
+            capsys, "sweep", "--app", "Facebook", "--duration", "2",
+            "--grid", "governor=fixed,section", "--seeds", "0,1",
+            "--cache", str(cache_dir), "--cache-max-entries", "1")
+        assert code == 0
+        assert ResultCache(cache_dir).entry_count() == 1
+
+    def test_sweep_rejects_bad_arguments(self, capsys):
+        from repro.cli import main
+        base = ["sweep", "--app", "Facebook", "--duration", "2"]
+        for extra in (["--grid", "bogus"],
+                      ["--grid", "governor=a", "--grid",
+                       "governor=b"],
+                      ["--seeds", "x"],
+                      ["--check", "/nonexistent.json"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(base + extra)
+            assert excinfo.value.code == 2
+            capsys.readouterr()
