@@ -175,19 +175,23 @@ class Application:
             # All pending changes collapse into one rendered frame.
             self._pending_changes = 0
             self._renderer.render(self._surface, self._render_rng)
-            self._post(time)
+            self._post(time, content_changed=True)
             return
         idle_fps = self.profile.idle_submit_fps
         if idle_fps > 0 and \
                 time - self._last_post_time >= (1.0 / idle_fps) - 1e-9:
             # Free-running loop: re-render the unchanged scene and post
-            # a redundant frame.
-            self._post(time)
+            # a redundant frame.  The pixels are untouched since the
+            # last post, so the post declares content_changed=False —
+            # what lets the compositor's coherence fast path skip the
+            # provably-identical recomposition.
+            self._post(time, content_changed=False)
 
-    def _post(self, time: float) -> None:
+    def _post(self, time: float, content_changed: bool = True) -> None:
         self.renders.append(time)
         self.submissions.append(time)
-        self._compositor.post(self._surface)
+        self._compositor.post(self._surface,
+                              content_changed=content_changed)
         self._last_post_time = time
 
     # ------------------------------------------------------------------
@@ -202,6 +206,16 @@ class Application:
     def pending_changes(self) -> int:
         """Content changes waiting for the next render."""
         return self._pending_changes
+
+    @property
+    def last_post_time(self) -> float:
+        """Time of the most recent post (``-inf`` before the first).
+
+        The vector fast path replays the idle-submission predicate
+        against this value when deciding whether a V-Sync tick can be
+        skipped.
+        """
+        return self._last_post_time
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Application {self.profile.name!r}>"

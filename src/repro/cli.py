@@ -77,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=governor_names())
     p_run.add_argument("--oled", action="store_true",
                        help="track content-dependent OLED emission")
+    _add_engine_arg(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser(
@@ -95,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(reused across runs; identical sessions "
                             "are served from disk, byte-identical to "
                             "recomputing)")
+    _add_engine_arg(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_sweep = sub.add_parser(
@@ -151,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None, metavar="NAME=FRACTION",
                          help="per-metric threshold override "
                               "(repeatable)")
+    _add_engine_arg(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_export = sub.add_parser(
@@ -474,6 +477,21 @@ def _add_session_args(parser: argparse.ArgumentParser) -> None:
                              "'repro stats PATH'")
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    from .sim.batch import ENGINE_CHOICES
+    parser.add_argument("--engine", default="scalar",
+                        choices=ENGINE_CHOICES,
+                        help="execution engine: 'scalar' (default) "
+                             "runs the reference per-session path; "
+                             "'auto' routes eligible sessions through "
+                             "the lockstep vector engine "
+                             "(byte-identical, faster) and falls back "
+                             "to scalar otherwise; 'vector' does the "
+                             "same but 'repro run' then *requires* "
+                             "eligibility and errors if the session "
+                             "cannot be vectorized")
+
+
 def _resolve_telemetry(args: argparse.Namespace):
     """The :class:`TelemetryConfig` requested, or None (disabled)."""
     if getattr(args, "telemetry", None) is None:
@@ -530,14 +548,25 @@ def cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_with_engine(config: SessionConfig, engine: str):
+    """One session on the requested engine (same results on all)."""
+    if engine == "scalar":
+        return run_session(config)
+    if engine == "vector":
+        from .sim.vector import VectorRunner
+        return VectorRunner(config).run()
+    from .sim.vector import run_vector_session
+    return run_vector_session(config)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    result = run_session(SessionConfig(
+    result = _run_with_engine(SessionConfig(
         app=args.app, governor=args.governor,
         duration_s=args.duration, seed=args.seed,
         panel=panel_preset(args.panel),
         track_oled=args.oled,
         faults=_resolve_faults(args),
-        telemetry=_resolve_telemetry(args)))
+        telemetry=_resolve_telemetry(args)), args.engine)
     report = result.power_report()
     print(f"app:            {result.profile.name} "
           f"({result.profile.category.value})")
@@ -593,7 +622,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         from .cache import ResultCache
         cache = ResultCache(args.cache)
     summaries = run_batch(configs, workers=args.workers,
-                          on_error="raise", cache=cache)
+                          on_error="raise", cache=cache,
+                          engine=args.engine)
     if cache is not None:
         cache.write_index()
     base = summaries[0]
@@ -689,7 +719,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         cache = ResultCache(args.cache)
     started = time.perf_counter()
     document = run_sweep(base, grid, seeds=seeds,
-                         workers=args.workers, cache=cache)
+                         workers=args.workers, cache=cache,
+                         engine=args.engine)
     wall_s = time.perf_counter() - started
     if args.json:
         print(json.dumps(document, indent=2, sort_keys=True))

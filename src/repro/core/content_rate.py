@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
+import numpy as np
+
 from ..errors import ConfigurationError, MeteringError
 from ..faults.injector import FaultInjector
 from ..faults.plan import SITE_METER_FAIL
@@ -140,6 +142,19 @@ class ContentRateMeter:
         previous = self._store.previous
         telemetry = self._telemetry
         if telemetry is None:
+            if framebuffer.last_write_unchanged:
+                # The compositor proved this update's pixels identical
+                # to the previous frame (coherence fast path): the
+                # comparison outcome is known — not meaningful — and
+                # the capture would re-store identical bytes.  Keep
+                # the accounting exactly as the full path would have
+                # left it: frames_equal would have bumped the
+                # comparison counter (count_changed does not), and the
+                # store charges the copy it conceptually performed.
+                if self.config.min_changed_cells == 1:
+                    self.comparator.note_equal()
+                self._store.note_redundant_capture()
+                return
             # The uninstrumented fast path: no clock reads, no
             # allocations beyond the comparison itself.
             meaningful = self._frame_meaningful(pixels, previous)
@@ -198,6 +213,36 @@ class ContentRateMeter:
         """Redundant frames per second: frame rate minus content rate."""
         return (self.frame_rate(now, window_s) -
                 self.content_rate(now, window_s))
+
+    def content_rates_batch(self, times: "np.ndarray",
+                            window_s: Optional[float] = None
+                            ) -> "np.ndarray":
+        """Content rate at many query times in one vectorised pass.
+
+        Element ``i`` equals ``content_rate(times[i], window_s)``
+        exactly: the window arithmetic is the same float64 operations
+        elementwise, and the windowed count uses
+        :meth:`~repro.sim.tracing.EventLog.count_in_batch` (searchsorted
+        == bisect).  The vector engine uses this to price a whole run
+        of governor decisions against a static meaningful-frame log.
+
+        Only valid without a fault injector: injected read failures
+        are per-read control flow a batch cannot replicate.
+        """
+        if self._injector is not None:
+            raise MeteringError(
+                "content_rates_batch cannot replicate injected "
+                "meter faults; use per-read content_rate")
+        window = self.config.window_s if window_s is None else \
+            ensure_positive(window_s, "window_s")
+        now = np.asarray(times, dtype=np.float64)
+        start = np.maximum(0.0, now - window)
+        span = now - start
+        counts = self._meaningful.count_in_batch(start, now)
+        rates = np.zeros_like(now)
+        positive = span > 0
+        np.divide(counts, span, out=rates, where=positive)
+        return rates
 
     def _windowed_rate(self, log: EventLog, now: float,
                        window_s: Optional[float]) -> float:

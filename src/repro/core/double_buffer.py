@@ -80,6 +80,23 @@ class DoubleBuffer:
         self._captures += 1
         self._bytes_copied += slot.nbytes
 
+    def note_redundant_capture(self, count: int = 1) -> None:
+        """Account for ``count`` captures identical to the stored frame.
+
+        The coherence fast path proves the new frame equals the stored
+        previous one, so copying would re-store the same bytes; the
+        capture still *counts* — including its bandwidth charge,
+        because the real scheme would have performed the copy — and
+        :attr:`previous` keeps returning the identical contents.  The
+        vector engine's bulk idle-submit skip accounts a whole run of
+        redundant captures in one call.
+        """
+        if self._captures == 0:
+            raise MeteringError(
+                "no previous frame to be redundant against")
+        self._captures += count
+        self._bytes_copied += self._slots[self._front].nbytes * count
+
 
 class SampledDoubleBuffer:
     """Double buffer that stores only the grid samples of each frame.
@@ -133,3 +150,15 @@ class SampledDoubleBuffer:
         self._front = back
         self._captures += 1
         self._bytes_copied += slot.nbytes
+
+    def note_redundant_capture(self, count: int = 1) -> None:
+        """Account for ``count`` captures identical to the stored frame.
+
+        Same contract as :meth:`DoubleBuffer.note_redundant_capture`:
+        counts the captures and their bandwidth without moving bytes.
+        """
+        if self._captures == 0:
+            raise MeteringError(
+                "no previous frame to be redundant against")
+        self._captures += count
+        self._bytes_copied += self._slots[self._front].nbytes * count

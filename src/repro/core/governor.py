@@ -129,6 +129,16 @@ class TouchBoostGovernor(GovernorPolicy):
         """Number of touch events that triggered (or extended) a boost."""
         return self._boosts
 
+    @property
+    def boost_until(self) -> float:
+        """End of the current boost hold (``-inf`` before any touch).
+
+        Exposed so the vector fast path can evaluate the boost
+        predicate (``now < boost_until``) for future decision ticks
+        with the exact comparison :meth:`boosting` performs.
+        """
+        return self._boost_until
+
     def boosting(self, now: float) -> bool:
         """True while a boost hold period is active."""
         return now < self._boost_until
@@ -244,9 +254,31 @@ class GovernorDriver:
                                      from_hz=last, to_hz=rate)
         self._last_periodic_rate = rate
 
+    def record_skipped_decisions(self, times: Sequence[float],
+                                 rates: Sequence[float]) -> None:
+        """Commit decision ticks resolved analytically by the fast path.
+
+        Each ``(time, rate)`` pair replicates exactly what
+        :meth:`_decide` would have recorded for a tick whose selected
+        rate was proven equal to the panel's current target (so
+        ``set_refresh_rate`` would have been a no-op): the decision
+        trace entry and the last-periodic-rate latch.  Task-side tick
+        accounting is committed separately via
+        :meth:`~repro.sim.engine.PeriodicTask.fast_forward`.
+        """
+        if not times:
+            return
+        self._decisions.extend(times, rates)
+        self._last_periodic_rate = float(rates[-1])
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def task(self) -> Optional[PeriodicTask]:
+        """The periodic decision task (``None`` before start)."""
+        return self._task
+
     @property
     def decisions(self) -> TimeSeries:
         """Every decision made: ``(time, selected rate)``."""

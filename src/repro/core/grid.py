@@ -41,6 +41,36 @@ PAPER_PIXEL_BUDGETS = {
 }
 
 
+def gather_samples(pixels: np.ndarray, rows: np.ndarray,
+                   cols: np.ndarray,
+                   flat: "np.ndarray | None" = None) -> np.ndarray:
+    """Gather grid sample points from one buffer or a stacked batch.
+
+    The single implementation of the sample-point extraction: scalar
+    metering calls it with a ``(height, width, channels)`` buffer, the
+    vector engine with an ``(n, height, width, channels)`` stack — the
+    gather is the same expression either way, so the two paths cannot
+    drift.  Returns a materialised ``(..., gh, gw, channels)`` array
+    (never a view into the live buffer).
+
+    The gather runs as one :func:`numpy.take` over flattened
+    ``row * width + col`` indices — numpy's fast contiguous-gather
+    path, several times quicker than the equivalent outer fancy
+    indexing on small buffers, picking out exactly the same sample
+    pixels.  ``flat`` accepts the precomputed index vector
+    (:class:`GridSpec` caches it) so per-frame callers skip rebuilding
+    it.
+    """
+    width = pixels.shape[-2]
+    channels = pixels.shape[-1]
+    if flat is None:
+        flat = (rows[:, None] * width + cols[None, :]).ravel()
+    stacked = pixels.reshape(pixels.shape[:-3] + (-1, channels))
+    gathered = np.take(stacked, flat, axis=-2)
+    return gathered.reshape(pixels.shape[:-3]
+                            + (len(rows), len(cols), channels))
+
+
 class GridSpec:
     """Sampling grid over a ``(height, width)`` pixel buffer.
 
@@ -74,6 +104,10 @@ class GridSpec:
             ((np.arange(grid_width) + 0.5) * width / grid_width)
             .astype(np.intp),
             width - 1)
+        # Flattened row*width+col sample indices, precomputed once:
+        # the per-frame gather is a single np.take over these.
+        self._flat = (self._rows[:, None] * width
+                      + self._cols[None, :]).ravel()
 
     # ------------------------------------------------------------------
     # Constructors
@@ -154,8 +188,27 @@ class GridSpec:
         self._check_shape(pixels)
         if self.is_full:
             return pixels.copy()
-        return np.ascontiguousarray(
-            pixels[self._rows[:, None], self._cols[None, :]])
+        return gather_samples(pixels, self._rows, self._cols,
+                              flat=self._flat)
+
+    def sample_batch(self, stack: np.ndarray) -> np.ndarray:
+        """Extract grid samples from ``n`` stacked buffers at once.
+
+        ``stack`` is ``(n, height, width, channels)`` — the vector
+        engine's struct-of-arrays view of ``n`` framebuffers; the
+        result is ``(n, grid_height, grid_width, channels)`` from a
+        single gather.  Row ``i`` is byte-identical to
+        ``sample(stack[i])``.
+        """
+        if stack.ndim != 4 or stack.shape[1:3] != self.buffer_shape:
+            raise MeteringError(
+                f"batch shape {stack.shape} does not match grid's "
+                f"expected (n, {self.buffer_shape[0]}, "
+                f"{self.buffer_shape[1]}, channels)")
+        if self.is_full:
+            return stack.copy()
+        return gather_samples(stack, self._rows, self._cols,
+                              flat=self._flat)
 
     def _check_shape(self, pixels: np.ndarray) -> None:
         if pixels.shape[:2] != self.buffer_shape:
@@ -192,6 +245,18 @@ class GridComparator:
         """Tests that found the frames different."""
         return self._mismatches
 
+    def note_equal(self, count: int = 1) -> None:
+        """Account for ``count`` comparisons proven equal without running.
+
+        The coherence fast path knows current and previous frames agree
+        at every pixel — a fortiori at every sample point — so the
+        gather-and-compare is skipped, but the comparison still counts
+        toward overhead accounting exactly as if it had run.  The vector
+        engine's bulk idle-submit skip accounts a whole run of such
+        comparisons in one call.
+        """
+        self._comparisons += count
+
     def count_changed(self, current: np.ndarray,
                       previous: np.ndarray) -> int:
         """Number of grid sample points whose pixel differs.
@@ -204,19 +269,36 @@ class GridComparator:
         """
         grid = self.grid
         grid._check_shape(current)
-        rows = grid._rows[:, None]
-        cols = grid._cols[None, :]
-        cur = current[rows, cols]
+        channels = current.shape[-1]
+        cur = self._gather(current)
         if previous.shape == current.shape:
-            prev = previous[rows, cols]
+            prev = self._gather(previous)
         elif previous.shape[:2] == (grid.grid_height, grid.grid_width):
-            prev = previous
+            prev = previous.reshape(-1, channels)
         else:
             raise MeteringError(
                 f"previous frame shape {previous.shape} matches neither "
                 f"the buffer {grid.buffer_shape} nor the grid "
                 f"({grid.grid_height}, {grid.grid_width})")
         return int((cur != prev).any(axis=-1).sum())
+
+    def _gather(self, pixels: np.ndarray) -> np.ndarray:
+        """Sample points of one full buffer, flattened to ``(n, channels)``.
+
+        Sparse grids ride numpy's contiguous ``np.take`` gather.  The
+        all-pixels grid keeps the per-point indexed gather instead:
+        Figure 6 prices what a full comparison *costs*, and the paper's
+        implementation walks every grid point uniformly — shortcutting
+        the full case would underprice the very configuration the
+        figure exists to rule out.
+        """
+        grid = self.grid
+        channels = pixels.shape[-1]
+        if grid.is_full:
+            gathered = pixels[grid._rows[:, None], grid._cols[None, :]]
+            return gathered.reshape(-1, channels)
+        return np.take(pixels.reshape(-1, channels), grid._flat,
+                       axis=0)
 
     def frames_equal(self, current: np.ndarray,
                      previous: np.ndarray) -> bool:
@@ -231,19 +313,19 @@ class GridComparator:
         grid = self.grid
         grid._check_shape(current)
         self._comparisons += 1
+        channels = current.shape[-1]
         if previous.shape == current.shape:
-            # One code path for every budget: gather the sample points
-            # and compare them.  Deliberately *no* memcmp fast path for
-            # the all-pixels grid — Figure 6 sweeps the cost of the
-            # per-sample comparison, and the paper's implementation
-            # walks grid points uniformly whatever their count.
-            rows = grid._rows[:, None]
-            cols = grid._cols[None, :]
+            # Gather the sample points and compare them.  Deliberately
+            # *no* memcmp fast path for the all-pixels grid — Figure 6
+            # sweeps the cost of the per-sample comparison, and the
+            # paper's implementation walks grid points uniformly
+            # whatever their count (see _gather).
             equal = bool(
-                (current[rows, cols] == previous[rows, cols]).all())
+                (self._gather(current) == self._gather(previous)).all())
         elif previous.shape[:2] == (grid.grid_height, grid.grid_width):
-            sampled = current[grid._rows[:, None], grid._cols[None, :]]
-            equal = bool((sampled == previous).all())
+            equal = bool(
+                (self._gather(current)
+                 == previous.reshape(-1, channels)).all())
         else:
             raise MeteringError(
                 f"previous frame shape {previous.shape} matches neither "

@@ -39,6 +39,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..units import ensure_non_negative
 from ..display.spec import PanelSpec
@@ -126,6 +128,27 @@ class SectionTable:
                 return section.refresh_rate_hz
         # Unreachable: the top section extends to infinity.
         raise AssertionError("section table has a gap")  # pragma: no cover
+
+    def lookup_batch(self, content_rates: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`lookup` over many content rates at once.
+
+        Sections are contiguous from 0 with half-open ``[low, high)``
+        bounds, so the linear ``contains`` scan is equivalent to
+        counting section *highs* that are ``<= c`` — which is
+        ``searchsorted(highs, c, side="right")`` over the same float64
+        values (pure comparisons, no arithmetic).  Element ``i``
+        therefore equals ``lookup(content_rates[i])`` exactly.
+        """
+        rates = np.asarray(content_rates, dtype=np.float64)
+        if np.any(rates < 0):
+            raise ConfigurationError(
+                "content rates must be non-negative")
+        highs = np.asarray([s.high for s in self._sections[:-1]],
+                           dtype=np.float64)
+        selected = np.asarray(
+            [s.refresh_rate_hz for s in self._sections],
+            dtype=np.float64)
+        return selected[np.searchsorted(highs, rates, side="right")]
 
     @property
     def sections(self) -> Tuple[Section, ...]:

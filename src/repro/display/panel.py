@@ -119,6 +119,23 @@ class DisplayPanel:
             else self._rate
 
     @property
+    def pending_rate_hz(self) -> Optional[float]:
+        """The rate waiting for the next frame boundary, or ``None``.
+
+        Distinct from :attr:`target_rate_hz`: a pending switch may
+        target the *current* rate (request X then request back to the
+        current rate before the boundary), and the vector fast path
+        must treat any pending switch as a blocker, so it needs the
+        raw latch state, not the inferred target.
+        """
+        return self._pending_rate
+
+    @property
+    def next_vsync_handle(self) -> Optional[EventHandle]:
+        """The scheduled next-V-Sync event (``None`` while stopped)."""
+        return self._next_vsync
+
+    @property
     def rate_history(self) -> StepSeries:
         """Piecewise-constant trace of the effective refresh rate."""
         return self._rate_history
@@ -170,6 +187,34 @@ class DisplayPanel:
             return
         self._pending_rate = rate
         self._pending_since = self._sim.now
+
+    def fast_forward_vsyncs(self, count: int,
+                            last_tick_time: float) -> None:
+        """Account for ``count`` V-Syncs resolved analytically.
+
+        The vector fast path proves a run of V-Syncs would each fire
+        with no observable effect it does not replicate itself (no
+        composition, no pending rate switch); this commits the
+        panel-side bookkeeping: the V-Sync counter and a fresh
+        next-V-Sync handle at ``last_tick_time + 1/rate`` — the exact
+        float the skipped final tick's ``_schedule_next`` would have
+        computed.  Refuses to cross a pending rate switch: applying it
+        belongs to a real tick.
+        """
+        if not self._running or self._next_vsync is None:
+            raise DisplayError("cannot fast-forward a stopped panel")
+        if self._pending_rate is not None:
+            raise DisplayError(
+                "cannot fast-forward across a pending rate switch")
+        if count <= 0:
+            raise DisplayError(
+                f"fast_forward_vsyncs needs a positive count, "
+                f"got {count}")
+        self._vsync_count += count
+        self._sim.cancel(self._next_vsync)
+        period = 1.0 / self._rate
+        self._next_vsync = self._sim.call_at(
+            last_tick_time + period, self._fire_vsync, name="vsync")
 
     # ------------------------------------------------------------------
     # Listeners

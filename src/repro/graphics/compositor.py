@@ -40,6 +40,13 @@ class SurfaceManager:
         self._compositions = 0
         self._redundant_compositions = 0
         self._listeners: List[CompositionListener] = []
+        # Frame-coherence fast path (opt-in, see
+        # enable_coherence_fast_path): _coherent is True while
+        # _previous provably equals the framebuffer contents *and* the
+        # surface stack is unchanged since the last full composite.
+        self._fast_path = False
+        self._coherent = False
+        self._pending_dirty = False
 
     # ------------------------------------------------------------------
     # Surface lifecycle
@@ -52,6 +59,7 @@ class SurfaceManager:
                 f"a surface named {surface.name!r} is already registered")
         self._surfaces.append(surface)
         self._surfaces.sort(key=lambda s: s.z_order)
+        self._coherent = False
 
     def unregister_surface(self, surface: Surface) -> None:
         """Remove a surface from the stack."""
@@ -61,6 +69,7 @@ class SurfaceManager:
             raise GraphicsError(
                 f"surface {surface.name!r} is not registered") from None
         self._pending.pop(surface.name, None)
+        self._coherent = False
 
     @property
     def surfaces(self) -> List[Surface]:
@@ -70,16 +79,40 @@ class SurfaceManager:
     # ------------------------------------------------------------------
     # Posting and composition
     # ------------------------------------------------------------------
-    def post(self, surface: Surface) -> None:
+    def post(self, surface: Surface,
+             content_changed: bool = True) -> None:
         """Queue a surface for the next V-Sync composition.
 
         Posting the same surface twice in one V-Sync interval collapses
         to a single frame update — that is the V-Sync throttle.
+
+        ``content_changed=False`` is the poster's declaration that the
+        surface pixels are untouched since its last post (an idle
+        repost — the paper's "redundant frame").  The declaration only
+        feeds the opt-in coherence fast path, and is cross-checked
+        against surface damage there; posters that cannot make it
+        simply use the default.
         """
         if surface not in self._surfaces:
             raise GraphicsError(
                 f"cannot post unregistered surface {surface.name!r}")
         self._pending[surface.name] = surface
+        if content_changed:
+            self._pending_dirty = True
+
+    def enable_coherence_fast_path(self) -> None:
+        """Opt in to skipping provably-redundant compositions.
+
+        When every pending post declares ``content_changed=False``, no
+        registered surface is damaged, and the previous full composite
+        is still current, the composited frame is byte-identical to
+        what the framebuffer already holds — so :meth:`on_vsync` skips
+        the blit/compare/copy entirely and performs the same
+        accounting.  Off by default: the scalar reference path keeps
+        doing the full work so equivalence tests compare against an
+        unmodified baseline.
+        """
+        self._fast_path = True
 
     @property
     def has_pending_posts(self) -> bool:
@@ -96,9 +129,28 @@ class SurfaceManager:
         """
         if not self._pending:
             return False
+        if (self._fast_path and self._coherent
+                and not self._pending_dirty
+                and not any(s.is_damaged for s in self._surfaces)):
+            # Every pending post declared its pixels unchanged, no
+            # surface mutated since the last full composite (damage
+            # cross-check), and _previous still mirrors the
+            # framebuffer: the blit would reproduce the previous frame
+            # byte for byte.  Perform the identical accounting without
+            # the pixel work.
+            for surface in self._pending.values():
+                surface.acknowledge_post()
+            self._pending.clear()
+            self._framebuffer.write_unchanged(time)
+            self._compositions += 1
+            self._redundant_compositions += 1
+            for listener in self._listeners:
+                listener(time, True)
+            return True
         for surface in self._pending.values():
             surface.acknowledge_post()
         self._pending.clear()
+        self._pending_dirty = False
 
         self._scratch[:] = 0
         for surface in self._surfaces:
@@ -108,6 +160,7 @@ class SurfaceManager:
         redundant = bool(np.array_equal(self._scratch, self._previous))
         np.copyto(self._previous, self._scratch)
         self._framebuffer.write(self._scratch, time)
+        self._coherent = True
 
         self._compositions += 1
         if redundant:

@@ -8,7 +8,7 @@ framebuffer *updates* (writes), not panel *refreshes*.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,17 +28,34 @@ class Framebuffer:
         Panel resolution in pixels.  The paper's Galaxy S3 is 720x1280;
         simulations default to a scaled-down buffer for speed (the
         metering code is resolution-independent).
+    storage:
+        Optional pre-allocated ``(height, width, 3)`` uint8 array to
+        use as the pixel store instead of allocating one.  The vector
+        engine passes one row of its ``(n, height, width, 3)``
+        struct-of-arrays block so a batch of framebuffers is a single
+        contiguous allocation it can gather across; semantics are
+        unchanged (the array is zeroed on adoption).
     """
 
     CHANNELS = 3
 
-    def __init__(self, width: int, height: int) -> None:
+    def __init__(self, width: int, height: int,
+                 storage: Optional[np.ndarray] = None) -> None:
         self.width = ensure_positive_int(width, "width")
         self.height = ensure_positive_int(height, "height")
-        self._pixels = np.zeros((height, width, self.CHANNELS),
-                                dtype=np.uint8)
+        shape = (height, width, self.CHANNELS)
+        if storage is None:
+            self._pixels = np.zeros(shape, dtype=np.uint8)
+        else:
+            if storage.shape != shape or storage.dtype != np.uint8:
+                raise GraphicsError(
+                    f"framebuffer storage must be uint8 {shape}, got "
+                    f"{storage.dtype} {storage.shape}")
+            storage[...] = 0
+            self._pixels = storage
         self._generation = 0
         self._last_update_time = 0.0
+        self._last_write_unchanged = False
         self._listeners: List[UpdateListener] = []
 
     # ------------------------------------------------------------------
@@ -94,8 +111,32 @@ class Framebuffer:
         np.copyto(self._pixels, pixels)
         self._generation += 1
         self._last_update_time = time
+        self._last_write_unchanged = False
         for listener in self._listeners:
             listener(time, self)
+
+    def write_unchanged(self, time: float) -> None:
+        """Record a frame update whose pixels equal the current contents.
+
+        The compositor's frame-coherence fast path calls this when it
+        has *proved* the newly composited frame is byte-identical to
+        what the framebuffer already holds: the copy is skipped, but
+        the update is otherwise real — generation, timestamp, and
+        listener notification behave exactly like :meth:`write` with
+        identical pixels.  Listeners that themselves compare frames can
+        consult :attr:`last_write_unchanged` to skip their comparison.
+        """
+        self._generation += 1
+        self._last_update_time = time
+        self._last_write_unchanged = True
+        for listener in self._listeners:
+            listener(time, self)
+
+    @property
+    def last_write_unchanged(self) -> bool:
+        """True when the most recent update was a proven-identical
+        :meth:`write_unchanged` (valid during listener callbacks)."""
+        return self._last_write_unchanged
 
     def add_update_listener(self, listener: UpdateListener) -> None:
         """Register a callback fired after every write (meter hook)."""

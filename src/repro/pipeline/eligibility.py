@@ -1,0 +1,104 @@
+"""Vector-engine eligibility probe.
+
+The vector engine (:mod:`repro.sim.vector`) advances many sessions in
+lockstep and skips V-Sync ticks it can prove inert.  Those proofs only
+hold for sessions whose per-tick behaviour is fully described by the
+component state the fast path replicates:
+
+* **No fault injection** — injected faults are per-read control flow
+  (a meter read may raise, a panel switch may be refused) the batch
+  replication cannot replay.
+* **No telemetry** — an instrumented session must observe every tick
+  (spans, counters, events); skipping ticks would change the stream.
+* **A plain catalog app** — live wallpapers render every V-Sync and
+  trace replays drive the framebuffer from recorded frames, so neither
+  has skippable ticks.
+* **A vectorizable builtin governor** — ``fixed``, ``section``,
+  ``section+boost`` and ``naive`` decide from the panel table and the
+  meter's windowed count, both of which the fast path can replicate
+  exactly (table lookups batch via ``searchsorted``).  Stateful
+  deciders (``section+hysteresis``'s dwell counters, ``oracle``'s
+  ground-truth reads, ``e3``'s gesture tracking) and custom registered
+  governors fall back to the scalar path.
+
+Ineligible specs are not errors: the batch layer routes them through
+the scalar engine automatically, and results are byte-identical either
+way — that equivalence is the vector engine's acceptance bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple, Union
+
+from ..apps.profile import AppProfile
+from .apps import resolve_workload
+from .governors import (
+    GOVERNOR_FIXED,
+    GOVERNOR_NAIVE,
+    GOVERNOR_SECTION,
+    GOVERNOR_SECTION_BOOST,
+)
+from .spec import SessionSpec
+
+if TYPE_CHECKING:
+    from ..sim.session import SessionConfig
+
+#: Builtin governors whose decisions the vector fast path can replicate.
+VECTOR_GOVERNORS: Tuple[str, ...] = (
+    GOVERNOR_FIXED,
+    GOVERNOR_SECTION,
+    GOVERNOR_SECTION_BOOST,
+    GOVERNOR_NAIVE,
+)
+
+
+@dataclass(frozen=True)
+class VectorEligibility:
+    """Outcome of probing one spec for vector-engine eligibility.
+
+    ``reasons`` lists every disqualifier found (empty when eligible),
+    so batch diagnostics can say *why* a session fell back.
+    """
+
+    eligible: bool
+    reasons: Tuple[str, ...]
+
+    def __bool__(self) -> bool:
+        return self.eligible
+
+
+def probe_vector_eligibility(
+        spec: Union[SessionSpec, "SessionConfig"]
+) -> VectorEligibility:
+    """Probe a session description for vector-engine eligibility.
+
+    Accepts either the plain-data :class:`SessionSpec` (the batch wire
+    format) or a live :class:`~repro.sim.session.SessionConfig`; both
+    carry every field the decision needs.
+    """
+    config = spec.to_config() if isinstance(spec, SessionSpec) else spec
+    reasons: list[str] = []
+    if config.faults is not None:
+        reasons.append(
+            "fault injection requires per-read scalar control flow")
+    if config.telemetry is not None:
+        reasons.append(
+            "telemetry must observe every tick (spans and counters)")
+    workload = resolve_workload(config.app)
+    if not isinstance(workload, AppProfile):
+        reasons.append(
+            f"workload {type(workload).__name__} drives every V-Sync "
+            f"(wallpaper/trace replay has no skippable ticks)")
+    if config.governor not in VECTOR_GOVERNORS:
+        reasons.append(
+            f"governor {config.governor!r} is not a vectorizable "
+            f"builtin (supported: {', '.join(VECTOR_GOVERNORS)})")
+    return VectorEligibility(eligible=not reasons,
+                             reasons=tuple(reasons))
+
+
+def vector_eligible(
+        spec: Union[SessionSpec, "SessionConfig"]) -> bool:
+    """Shorthand: True when the spec can run on the vector engine."""
+    return probe_vector_eligibility(spec).eligible

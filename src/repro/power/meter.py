@@ -9,11 +9,39 @@ reproduction's tables can carry honest ±figures of the same character.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
 from ..units import ensure_non_negative
+
+
+def integrate_segments(values: Union[Sequence[float], np.ndarray],
+                       durations: Union[Sequence[float], np.ndarray]
+                       ) -> float:
+    """Integrate a piecewise-constant signal from per-segment values
+    and durations.
+
+    The single implementation of the energy integral, shared by
+    :meth:`repro.sim.tracing.StepSeries.integrate` (scalar sessions)
+    and the vector engine's batched power integration.  Per-segment
+    products are computed vectorised, but the accumulation stays
+    **sequential in segment order**: IEEE-754 addition is not
+    associative, and byte-identical summaries require the exact floats
+    the original scalar loop produced (numpy's pairwise ``.sum()``
+    rounds differently).
+    """
+    value_arr = np.asarray(values, dtype=np.float64)
+    duration_arr = np.asarray(durations, dtype=np.float64)
+    if value_arr.shape != duration_arr.shape:
+        raise ValueError(
+            f"values {value_arr.shape} and durations "
+            f"{duration_arr.shape} must align")
+    products = value_arr * duration_arr
+    total = 0.0
+    for product in products.tolist():
+        total += product
+    return total
 
 
 class MonsoonMeter:

@@ -83,12 +83,17 @@ class Simulator:
     [1.0]
     """
 
+    #: Compaction trigger: sweep the heap once at least this many
+    #: cancelled entries are queued *and* they outnumber live ones.
+    COMPACT_MIN_CANCELLED = 8
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = ensure_non_negative(start_time, "start_time")
         self._queue: List[Tuple[float, int, EventHandle]] = []
         self._sequence = itertools.count()
         self._running = False
         self._processed = 0
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -105,9 +110,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (cancelled ones included until
-        they are popped; use for rough monitoring only)."""
-        return len(self._queue)
+        """Number of *live* events still queued.
+
+        Cancelled-but-unpopped entries are excluded: the heap keeps
+        them until they surface (lazy cancellation), but they are not
+        pending work and monitoring should not count them.
+        """
+        return len(self._queue) - self._cancelled_pending
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -136,8 +145,33 @@ class Simulator:
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel a pending event.  Cancelling a fired or already
-        cancelled event is a silent no-op."""
+        cancelled event is a silent no-op.
+
+        Cancellation stays lazy (O(1)), but the engine tracks how many
+        cancelled entries are sitting in the heap and sweeps them out
+        once they outnumber the live ones — cancel-heavy sessions
+        (panel rate switches cancel the next V-Sync on every decision)
+        would otherwise grow the heap without bound.
+        """
+        was_pending = handle.pending
         handle._cancelled = True
+        if was_pending:
+            self._cancelled_pending += 1
+            if (self._cancelled_pending >= self.COMPACT_MIN_CANCELLED
+                    and self._cancelled_pending * 2 > len(self._queue)):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant.
+
+        Rebinding ``self._queue`` is safe mid-run: the run loops re-read
+        the attribute on every iteration, and ``(time, seq)`` ordering
+        is preserved by :func:`heapq.heapify`.
+        """
+        self._queue = [entry for entry in self._queue
+                       if not entry[2]._cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -176,6 +210,7 @@ class Simulator:
                     return fired
                 time, _, handle = heapq.heappop(self._queue)
                 if handle._cancelled:
+                    self._cancelled_pending -= 1
                     continue
                 self._now = time
                 handle._fired = True
@@ -203,6 +238,7 @@ class Simulator:
             while self._queue:
                 time, _, handle = heapq.heappop(self._queue)
                 if handle._cancelled:
+                    self._cancelled_pending -= 1
                     continue
                 if fired >= max_events:
                     raise SimulationError(
@@ -214,6 +250,99 @@ class Simulator:
                 handle._callback(self)
         finally:
             self._running = False
+
+    # ------------------------------------------------------------------
+    # Fine-grained stepping (vector-engine fast path)
+    # ------------------------------------------------------------------
+    # These primitives let an external controller replicate exactly what
+    # run_until would do — fire one event, observe the next live event,
+    # account for analytically-skipped ticks — without owning the loop.
+    # The scalar path never calls them; byte-equivalence of the vector
+    # path rests on each primitive matching run_until's semantics.
+
+    def peek_next_live(self) -> Optional[EventHandle]:
+        """The next live event, or ``None`` if the queue is drained.
+
+        Cancelled entries at the top of the heap are popped as a side
+        effect (the same lazy sweep ``run_until`` performs).
+        """
+        while self._queue and self._queue[0][2]._cancelled:
+            heapq.heappop(self._queue)
+            self._cancelled_pending -= 1
+        return self._queue[0][2] if self._queue else None
+
+    def next_live_time_excluding(self, *exclude: EventHandle
+                                 ) -> Optional[float]:
+        """Earliest live event time ignoring the given handles.
+
+        A linear scan over the heap — O(queue), acceptable because the
+        fast-path controller calls it once per *skip region*, not per
+        tick, and heap compaction keeps the queue small.
+        """
+        skip = {id(handle) for handle in exclude}
+        best: Optional[float] = None
+        for time, _, handle in self._queue:
+            if handle._cancelled or id(handle) in skip:
+                continue
+            if best is None or time < best:
+                best = time
+        return best
+
+    def step_one(self, end_time: float) -> bool:
+        """Fire the single next live event if it lies at or before
+        ``end_time``.  Returns True if an event fired.
+
+        Unlike :meth:`run_until` the clock is *not* jumped to
+        ``end_time`` when no event fires — pair with
+        :meth:`advance_clock` to finish a slice.
+        """
+        if self._running:
+            raise SimulationError("step_one called re-entrantly")
+        while self._queue and self._queue[0][0] <= end_time:
+            time, _, handle = heapq.heappop(self._queue)
+            if handle._cancelled:
+                self._cancelled_pending -= 1
+                continue
+            self._running = True
+            try:
+                self._now = time
+                handle._fired = True
+                self._processed += 1
+                handle._callback(self)
+            finally:
+                self._running = False
+            return True
+        return False
+
+    def advance_clock(self, end_time: float) -> None:
+        """Jump the clock to ``end_time`` without firing anything.
+
+        This is the final clock jump of :meth:`run_until` split out for
+        callers that stepped events themselves.  Jumping over a live
+        event would silently reorder the timeline, so it is an error.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time:.6f} is before now {self._now:.6f}")
+        nxt = self.peek_next_live()
+        if nxt is not None and nxt.time <= end_time:
+            raise SimulationError(
+                f"advance_clock({end_time:.6f}) would jump over live "
+                f"event {nxt.name!r} at t={nxt.time:.6f}")
+        self._now = end_time
+
+    def credit_skipped(self, count: int) -> None:
+        """Account for ``count`` events resolved analytically.
+
+        The fast path proves a run of ticks is observationally inert
+        and skips firing them; crediting keeps ``events_processed`` —
+        part of the checkpoint/digest contract — identical to a scalar
+        run that fired every tick.
+        """
+        if count < 0:
+            raise SimulationError(
+                f"cannot credit {count} skipped events")
+        self._processed += count
 
 
 class PeriodicTask:
@@ -265,6 +394,39 @@ class PeriodicTask:
     def stopped(self) -> bool:
         """True once :meth:`stop` has been called."""
         return self._stopped
+
+    @property
+    def last_fire(self) -> float:
+        """Simulation time of the most recent tick (start time before
+        the first tick)."""
+        return self._last_fire
+
+    @property
+    def pending_handle(self) -> Optional[EventHandle]:
+        """The scheduled next-tick handle, or ``None`` once stopped."""
+        return self._handle
+
+    def fast_forward(self, count: int, last_fire_time: float) -> None:
+        """Account for ``count`` ticks resolved analytically.
+
+        The vector fast path proves a run of ticks would each fire the
+        callback with no observable effect beyond bookkeeping it
+        replicates itself; this commits the task-side bookkeeping: tick
+        count, last-fire time, and a fresh next-tick handle at
+        ``last_fire_time + period`` — the exact float the skipped final
+        tick would have computed via ``call_after(period)``.
+        """
+        if self._stopped or self._handle is None:
+            raise SimulationError(
+                f"cannot fast-forward stopped task {self._name!r}")
+        if count <= 0:
+            raise SimulationError(
+                f"fast_forward needs a positive count, got {count}")
+        self._ticks += count
+        self._last_fire = last_fire_time
+        self._sim.cancel(self._handle)
+        self._handle = self._sim.call_at(
+            last_fire_time + self._period, self._fire, name=self._name)
 
     def set_period(self, period: float, *, retime: bool = False) -> None:
         """Change the period.

@@ -46,6 +46,26 @@ class EventLog:
                 f"({time:.6f} < {self._times[-1]:.6f})")
         self._times.append(time)
 
+    def extend(self, times: Sequence[float]) -> None:
+        """Record a non-decreasing run of events in one call.
+
+        Equivalent to appending each element in order — the vector
+        engine's bulk idle-submit skip lands a whole region's worth of
+        timestamps per log this way instead of one ``append`` per
+        skipped tick.  The monotonicity invariant is enforced over the
+        run and against the existing tail before anything lands.
+        """
+        if not times:
+            return
+        prev = self._times[-1] if self._times else float("-inf")
+        for time in times:
+            if time < prev:
+                raise SimulationError(
+                    f"event log {self.name!r}: time went backwards "
+                    f"({time:.6f} < {prev:.6f})")
+            prev = time
+        self._times.extend(times)
+
     @property
     def times(self) -> np.ndarray:
         """All event timestamps as a float array."""
@@ -66,6 +86,31 @@ class EventLog:
         lo = bisect.bisect_right(self._times, start)
         hi = bisect.bisect_right(self._times, end)
         return hi - lo
+
+    def count_in_batch(self, starts: Sequence[float],
+                       ends: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`count_in` over many windows at once.
+
+        Same half-open ``(start, end]`` convention; element ``i``
+        equals ``count_in(starts[i], ends[i])`` exactly —
+        ``np.searchsorted(side="right")`` over the same float64 values
+        is ``bisect.bisect_right`` (both are pure comparisons, no
+        arithmetic).  This is the batched meter-window kernel the
+        vector engine uses to price a whole run of governor decisions
+        in one pass.
+        """
+        start_arr = np.asarray(starts, dtype=np.float64)
+        end_arr = np.asarray(ends, dtype=np.float64)
+        if np.any(end_arr < start_arr):
+            raise SimulationError(
+                f"event log {self.name!r}: count_in_batch window end "
+                f"precedes start",
+                context={"log": self.name,
+                         "operation": "count_in_batch"})
+        times = np.asarray(self._times, dtype=np.float64)
+        lo = np.searchsorted(times, start_arr, side="right")
+        hi = np.searchsorted(times, end_arr, side="right")
+        return (hi - lo).astype(np.int64)
 
     def rate_in(self, start: float, end: float) -> float:
         """Mean event rate (events/second) over ``(start, end]``."""
@@ -172,9 +217,16 @@ class StepSeries:
         if start < self._times[0]:
             raise SimulationError(
                 f"integrate: start {start:.6f} precedes series start")
-        total = 0.0
-        # Walk transitions that fall inside the window, accumulating
-        # value * duration for each constant segment.
+        # Lazy import: power.meter owns the integration kernel (it is
+        # the power path's hot loop) and must not import tracing back.
+        from ..power.meter import integrate_segments
+
+        # Walk transitions that fall inside the window, collecting the
+        # (value, duration) of each constant segment; the kernel owns
+        # the arithmetic so scalar and vector paths share one
+        # implementation of the math.
+        values: List[float] = []
+        durations: List[float] = []
         idx = bisect.bisect_right(self._times, start) - 1
         t = start
         while t < end:
@@ -182,10 +234,11 @@ class StepSeries:
             next_t = (self._times[idx + 1]
                       if idx + 1 < len(self._times) else end)
             seg_end = min(next_t, end)
-            total += seg_value * (seg_end - t)
+            values.append(seg_value)
+            durations.append(seg_end - t)
             t = seg_end
             idx += 1
-        return total
+        return integrate_segments(values, durations)
 
     def mean(self, start: float, end: float) -> float:
         """Time-weighted mean of the signal over ``[start, end]``."""
@@ -218,6 +271,32 @@ class TimeSeries:
                 f"({time:.6f} < {self._times[-1]:.6f})")
         self._times.append(time)
         self._values.append(float(value))
+
+    def extend(self, times: Sequence[float],
+               values: Sequence[float]) -> None:
+        """Record a non-decreasing run of samples in one call.
+
+        Equivalent to appending each pair in order — the vector
+        engine's fast path commits a whole region of analytically
+        resolved governor decisions this way.  Monotonicity is checked
+        over the run and against the existing tail before anything
+        lands.
+        """
+        if len(times) != len(values):
+            raise SimulationError(
+                f"time series {self.name!r}: extend got {len(times)} "
+                f"times but {len(values)} values")
+        if not times:
+            return
+        prev = self._times[-1] if self._times else float("-inf")
+        for time in times:
+            if time < prev:
+                raise SimulationError(
+                    f"time series {self.name!r}: time went backwards "
+                    f"({time:.6f} < {prev:.6f})")
+            prev = time
+        self._times.extend(times)
+        self._values.extend(float(value) for value in values)
 
     @property
     def times(self) -> np.ndarray:
