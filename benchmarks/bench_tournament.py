@@ -1,0 +1,51 @@
+"""Tournament — power-vs-quality leaderboard over the governor zoo.
+
+No paper figure: this is the governor-zoo extension (see
+docs/governors.md).  Shapes asserted here:
+
+* every registered governor completes every workload (catalog apps
+  and synthetic trace replays) — the registry fan-out is total;
+* the fixed-60 baseline anchors the board: zero savings, and no
+  governed policy draws *more* mean power than it on this mix;
+* the SmartNight-style luminance probe holds end to end: the dark
+  trace draws strictly less total power (emission + drive) than the
+  light twin under the luminance governor.
+"""
+
+from repro.experiments import tournament
+
+from conftest import publish
+
+CONFIG = tournament.TournamentConfig(
+    apps=("Facebook", "Jelly Splash", "MX Player"),
+    trace_kinds=("video", "idle"),
+    duration_s=10.0, trace_duration_s=10.0, seed=1)
+
+
+def test_tournament_reproduction(benchmark):
+    result = benchmark.pedantic(lambda: tournament.run(CONFIG),
+                                rounds=1, iterations=1)
+    publish("tournament", result.format())
+
+    document = result.document
+    board = document["leaderboard"]
+    governors = document["governors"]
+    assert len(board) == len(governors) >= 11
+
+    cells = document["cells"]
+    assert len(cells) == len(governors) * len(document["workloads"])
+    assert all(cell["metrics"]["mean_power_mw"] is not None
+               for cell in cells)
+
+    by_name = {row["governor"]: row for row in board}
+    fixed = by_name[tournament.BASELINE]
+    assert fixed["savings_vs_fixed_pct"] == 0.0
+    assert fixed["rank"] == len(board)
+    for row in board:
+        if row["governor"] != tournament.BASELINE:
+            assert row["savings_vs_fixed_pct"] >= 0.0
+
+    probe = document["luminance_probe"]
+    assert probe["dark_below_light"]
+    assert probe["dark"]["mean_power_mw"] < \
+        probe["light"]["mean_power_mw"]

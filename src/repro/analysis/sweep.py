@@ -9,7 +9,9 @@ trade quality for energy? — which are grids over
 such grids, fans the resulting specs out over the deterministic batch
 runner (optionally through a :class:`~repro.cache.ResultCache`, so a
 repeated sweep costs file reads instead of simulation), aggregates
-each grid cell across seeds into mean/std/95 % confidence intervals,
+each grid cell across seeds into mean/std/95 % confidence intervals
+(Student-t; null rather than zero when a single seed gives the
+statistics nothing to say),
 and diffs a sweep against a committed reference with per-metric
 thresholds (``repro sweep --check``).
 
@@ -153,17 +155,50 @@ def _finite(value: Any) -> Optional[float]:
     return value if math.isfinite(value) else None
 
 
+#: Two-sided 95 % Student-t critical values by degrees of freedom
+#: (standard table rows).  Sample std at the typical n=3-5 sweep badly
+#: undercovers at the normal z=1.96; the t value is the correct
+#: small-sample width.
+_T_CRITICAL_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+    19: 2.093, 20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064,
+    25: 2.060, 26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+    40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95 % Student-t critical value for ``df >= 1``.
+
+    Degrees of freedom between table rows round *down* to the nearest
+    tabulated row — the conservative direction (a slightly wider
+    interval), so the reported CI never claims more confidence than
+    the sample supports.
+    """
+    if df < 1:
+        raise ConfigurationError(
+            f"t critical value needs df >= 1, got {df}")
+    if df in _T_CRITICAL_95:
+        return _T_CRITICAL_95[df]
+    return _T_CRITICAL_95[max(row for row in _T_CRITICAL_95
+                              if row <= df)]
+
+
 def _aggregate(values: List[float]) -> Dict[str, Any]:
     n = len(values)
     if n == 0:
         return {"mean": None, "std": None, "ci95": None, "n": 0}
     mean = sum(values) / n
-    if n > 1:
-        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
-        std = math.sqrt(variance)
-    else:
-        std = 0.0
-    ci95 = 1.96 * std / math.sqrt(n)
+    if n < 2:
+        # One sample carries no dispersion information: std and ci95
+        # are unknown (null), not zero — 0.0 would render a single
+        # seed as perfect certainty.
+        return {"mean": mean, "std": None, "ci95": None, "n": n}
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    std = math.sqrt(variance)
+    ci95 = t_critical_95(n - 1) * std / math.sqrt(n)
     return {"mean": mean, "std": std, "ci95": ci95, "n": n}
 
 
@@ -323,7 +358,9 @@ def _format_stat(stats: Mapping[str, Any], unit_scale: float = 1.0,
         return "-"
     text = f"{unit_scale * mean:.{digits}f}"
     ci95 = stats.get("ci95")
-    if ci95 and stats.get("n", 0) > 1:
+    # `is not None`, not truthiness: a zero-width interval (all seeds
+    # agree exactly) is a legitimate, maximally-informative CI.
+    if ci95 is not None and stats.get("n", 0) > 1:
         text += f" ±{unit_scale * ci95:.{digits}f}"
     return text
 

@@ -319,6 +319,29 @@ def _time_sweep_warm_cold(duration_s: float) -> Dict[str, float]:
     return {"cold_s": cold_s, "warm_s": warm_s}
 
 
+def _time_tournament(duration_s: float) -> float:
+    """Wall seconds of one small governor tournament.
+
+    Every registered governor over two catalog apps plus one
+    synthetic trace (probe skipped: it adds two fixed-cost trace
+    replays that measure nothing tournament-specific).  Guards the
+    per-cell cost of the full-registry fan-out — a governor whose
+    ``select_rate`` grows a hidden per-decision cost shows up here
+    before it shows up in the 30-app run.
+    """
+    from .experiments.tournament import TournamentConfig, \
+        run_tournament
+
+    config = TournamentConfig(apps=("Facebook", "Jelly Splash"),
+                              trace_kinds=("video",),
+                              duration_s=duration_s,
+                              trace_duration_s=duration_s,
+                              luminance_probe=False)
+    t0 = time.perf_counter()
+    run_tournament(config, workers=1)
+    return time.perf_counter() - t0
+
+
 def _time_trace_replay(duration_s: float, best_of: int) -> float:
     """Best wall seconds of one trace-replay session.
 
@@ -385,6 +408,7 @@ def run_bench(workers: Optional[int] = None,
     sweep = _time_sweep_warm_cold(2.0 if fast else 5.0)
     sweep_x = (sweep["cold_s"] / sweep["warm_s"]
                if sweep["warm_s"] > 0 else 0.0)
+    tournament_s = _time_tournament(2.0 if fast else 5.0)
     vector_session_s = 20.0 if fast else VECTOR_BATCH_SESSION_S
     vector = _time_vector_vs_scalar(
         _vector_batch_configs(sessions, vector_session_s),
@@ -412,6 +436,7 @@ def run_bench(workers: Optional[int] = None,
                                          higher_is_better=True),
             "sweep_warm_vs_cold_x": _metric(sweep_x, "x",
                                             higher_is_better=True),
+            "tournament_small_s": _metric(tournament_s, "s"),
             "vector_batch32_s": _metric(vector["vector_s"], "s"),
             "vector_vs_scalar_x": _metric(vector_x, "x",
                                           higher_is_better=True),

@@ -156,6 +156,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arg(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
+    p_tour = sub.add_parser(
+        "tournament", help="power-vs-quality leaderboard over every "
+                           "registered governor (catalog + synthetic "
+                           "traces + luminance probe)")
+    p_tour.add_argument("--governors", default=None,
+                        metavar="G1,G2,...",
+                        help="comma-separated competitors (default: "
+                             "every registered governor)")
+    p_tour.add_argument("--apps", default=None, metavar="A1,A2,...",
+                        help="comma-separated catalog apps (default: "
+                             "the full 30-app catalog)")
+    p_tour.add_argument("--traces", default="video,scroll",
+                        metavar="K1,K2,...",
+                        help="comma-separated synthetic trace kinds "
+                             "(default: video,scroll; empty for none)")
+    p_tour.add_argument("--duration", type=float, default=20.0,
+                        help="session duration per cell in seconds")
+    p_tour.add_argument("--trace-duration", type=float, default=10.0,
+                        help="generated trace length in seconds")
+    p_tour.add_argument("--seed", type=int, default=1,
+                        help="workload seed shared by every cell")
+    p_tour.add_argument("--no-probe", action="store_true",
+                        help="skip the dark/light luminance probe "
+                             "pair")
+    p_tour.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default 1; the "
+                             "document is identical at any count)")
+    p_tour.add_argument("--cache", default=None, metavar="DIR",
+                        help="content-addressed result cache "
+                             "directory: repeated catalog cells are "
+                             "served from disk, byte-identical to "
+                             "recomputing (trace cells are "
+                             "uncacheable)")
+    p_tour.add_argument("--cache-max-entries", type=int, default=None,
+                        metavar="N",
+                        help="evict oldest cache entries beyond N "
+                             "after the run")
+    p_tour.add_argument("--out", default=None, metavar="PATH",
+                        help="write the deterministic "
+                             "repro-tournament/1 document "
+                             "(byte-diffable cold vs warm)")
+    p_tour.add_argument("--stats-out", default=None, metavar="PATH",
+                        help="write the nondeterministic run stats "
+                             "(wall clock, cache hit/miss counts)")
+    p_tour.add_argument("--json", action="store_true",
+                        help="print the tournament document as JSON "
+                             "instead of the leaderboard table")
+    p_tour.add_argument("--check", default=None, metavar="REFERENCE",
+                        help="byte-compare against a committed "
+                             "repro-tournament/1 reference; any "
+                             "difference exits 1")
+    _add_engine_arg(p_tour, default="auto")
+    p_tour.set_defaults(func=cmd_tournament)
+
     p_export = sub.add_parser(
         "export", help="run a session and dump its traces")
     _add_session_args(p_export)
@@ -477,12 +531,14 @@ def _add_session_args(parser: argparse.ArgumentParser) -> None:
                              "'repro stats PATH'")
 
 
-def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+def _add_engine_arg(parser: argparse.ArgumentParser,
+                    default: str = "scalar") -> None:
     from .sim.batch import ENGINE_CHOICES
-    parser.add_argument("--engine", default="scalar",
+    parser.add_argument("--engine", default=default,
                         choices=ENGINE_CHOICES,
-                        help="execution engine: 'scalar' (default) "
-                             "runs the reference per-session path; "
+                        help=f"execution engine (default {default}): "
+                             "'scalar' runs the reference "
+                             "per-session path; "
                              "'auto' routes eligible sessions through "
                              "the lockstep vector engine "
                              "(byte-identical, faster) and falls back "
@@ -753,6 +809,96 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                     overrides or None)
         print(format_regressions(regressions))
         return 1 if regressions else 0
+    return 0
+
+
+def _split_csv(text) -> tuple:
+    """A comma-separated CLI list -> tuple (empty string -> empty)."""
+    if text is None:
+        return ()
+    return tuple(part.strip() for part in text.split(",")
+                 if part.strip())
+
+
+def cmd_tournament(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    import sys
+    import time
+
+    from .experiments.tournament import (
+        TOURNAMENT_SCHEMA,
+        TOURNAMENT_STATS_SCHEMA,
+        TournamentConfig,
+        format_tournament,
+        run_tournament,
+    )
+    from .ioutil import atomic_write_json
+    # Load the reference before the (slow) run so a missing or
+    # malformed one fails fast.
+    reference = None
+    if args.check:
+        try:
+            reference = json.loads(
+                pathlib.Path(args.check).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cannot read tournament reference {args.check!r}: "
+                f"{exc}") from None
+        if not isinstance(reference, dict) or \
+                reference.get("schema") != TOURNAMENT_SCHEMA:
+            raise ConfigurationError(
+                f"{args.check!r} is not a {TOURNAMENT_SCHEMA} "
+                f"document")
+    from .apps.catalog import all_app_names
+    config = TournamentConfig(
+        governors=_split_csv(args.governors),
+        apps=_split_csv(args.apps) or all_app_names(),
+        trace_kinds=_split_csv(args.traces),
+        duration_s=args.duration,
+        trace_duration_s=args.trace_duration,
+        seed=args.seed,
+        luminance_probe=not args.no_probe)
+    cache = None
+    if args.cache is not None:
+        from .cache import ResultCache
+        cache = ResultCache(args.cache)
+    started = time.perf_counter()
+    document = run_tournament(config, workers=args.workers,
+                              cache=cache, engine=args.engine)
+    wall_s = time.perf_counter() - started
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(format_tournament(document))
+    if args.out:
+        atomic_write_json(args.out, document)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if cache is not None:
+        if args.cache_max_entries is not None:
+            cache.prune(args.cache_max_entries)
+        cache.write_index()
+        from .cache import hit_rate
+        hits, lookups, fraction = hit_rate(cache.stats_dict())
+        print(f"cache: {hits}/{lookups} hits "
+              f"({100 * fraction:.0f}%) in {wall_s:.2f} s",
+              file=sys.stderr)
+    if args.stats_out:
+        atomic_write_json(args.stats_out, {
+            "schema": TOURNAMENT_STATS_SCHEMA,
+            "wall_s": wall_s,
+            "engine": args.engine,
+            "cells": len(document["cells"]),
+            "cache": cache.stats_dict() if cache is not None
+            else None,
+        })
+        print(f"wrote {args.stats_out}", file=sys.stderr)
+    if reference is not None:
+        if document != reference:
+            print("tournament check: document differs from "
+                  f"{args.check}", file=sys.stderr)
+            return 1
+        print("tournament check: OK (byte-identical to reference)")
     return 0
 
 

@@ -151,9 +151,12 @@ class TouchBoostGovernor(GovernorPolicy):
     def on_touch(self, time: float) -> Optional[float]:
         self._boost_until = time + self.hold_s
         self._boosts += 1
-        # Chain to the inner policy too (harmless for section control,
-        # but keeps wrapped policies composable).
-        self.inner.on_touch(time)
+        # Chain to the inner policy and honor its immediate rate: a
+        # wrapped policy demanding more than the boost rate wins, so
+        # composition never *lowers* a touch response.
+        inner_rate = self.inner.on_touch(time)
+        if inner_rate is not None:
+            return max(inner_rate, self.boost_rate_hz)
         return self.boost_rate_hz
 
 

@@ -86,6 +86,14 @@ EXPERIMENTS: Tuple[ExperimentInfo, ...] = (
         ("repro.analysis.aggregate", "repro.experiments.survey"),
         "benchmarks/bench_table1_summary.py", _lazy("table1")),
     ExperimentInfo(
+        "tournament", "Power-vs-quality leaderboard over every "
+        "registered governor (governor-zoo extension)",
+        "30-app catalog + synthetic traces + luminance probe, "
+        "20 s per cell",
+        ("repro.experiments.tournament", "repro.pipeline.governors",
+         "repro.governors"),
+        "benchmarks/bench_tournament.py", _lazy("tournament")),
+    ExperimentInfo(
         "resilience", "Quality/power vs injected fault rate "
         "(robustness extension: fail-safe governor watchdog)",
         "Facebook, 30 s, meter_fail sweep with watchdog supervision",

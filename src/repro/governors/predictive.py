@@ -1,0 +1,103 @@
+"""Dynamic-Sampling-Rate-style predictive governor (zoo extension).
+
+The Dynamic Sampling Rate line of work observes that frame coherence
+is *predictable*: the recent history of inter-frame change is a good
+forecast of the next frame's change, so a controller can set the rate
+for what is about to happen instead of reacting to what already did.
+
+This policy consumes the grid comparator's history — the timestamps
+of frames the meter judged meaningful — incrementally, maintains an
+exponentially-weighted moving average of the inter-arrival intervals,
+and forecasts the next-frame change rate as the EWMA's reciprocal.
+When the stream goes quiet (no meaningful frame for several predicted
+intervals) the forecast decays with the growing gap, so a paused
+video or an idle screen ramps down instead of latching at the last
+busy estimate.  The forecast feeds the same Equation 1 section table
+as the paper's reactive control, preserving the headroom property
+that prevents the naive governor's deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.content_rate import ContentRateMeter
+from ..core.governor import GovernorPolicy
+from ..core.section_table import SectionTable
+from ..errors import ConfigurationError
+
+
+class PredictiveRateGovernor(GovernorPolicy):
+    """Forecast next-frame change from meaningful-frame history.
+
+    Parameters
+    ----------
+    table:
+        Section table mapping the forecast rate to a panel rate.
+    meter:
+        The meter whose meaningful-frame log is the change history.
+    alpha:
+        EWMA weight of the newest inter-arrival interval (0 < alpha
+        <= 1; higher adapts faster, lower smooths harder).
+    idle_factor:
+        Quiet-stream threshold: when the gap since the last meaningful
+        frame exceeds ``idle_factor`` predicted intervals, the
+        forecast decays to ``1 / gap``.
+    """
+
+    name = "predictive-rate"
+
+    def __init__(self, table: SectionTable, meter: ContentRateMeter,
+                 alpha: float = 0.3,
+                 idle_factor: float = 2.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must be in (0, 1], got {alpha}")
+        if idle_factor <= 0:
+            raise ConfigurationError(
+                f"idle_factor must be > 0, got {idle_factor}")
+        self.table = table
+        self.meter = meter
+        self.alpha = alpha
+        self.idle_factor = idle_factor
+        self._consumed = 0
+        self._last_time: Optional[float] = None
+        self._ewma_interval: Optional[float] = None
+
+    def _ingest_history(self) -> None:
+        """Fold meaningful frames that arrived since the last decision
+        into the interval EWMA (incremental: each event once)."""
+        log = self.meter.meaningful_frames
+        total = len(log)
+        if total == self._consumed:
+            return
+        times = log.times
+        for index in range(self._consumed, total):
+            time = float(times[index])
+            if self._last_time is not None:
+                interval = time - self._last_time
+                if interval > 0:
+                    if self._ewma_interval is None:
+                        self._ewma_interval = interval
+                    else:
+                        self._ewma_interval = (
+                            self.alpha * interval +
+                            (1.0 - self.alpha) * self._ewma_interval)
+            self._last_time = time
+        self._consumed = total
+
+    def forecast_rate(self, now: float) -> float:
+        """Predicted meaningful frames per second for the next tick."""
+        self._ingest_history()
+        if self._ewma_interval is None or self._last_time is None:
+            return 0.0
+        predicted = 1.0 / self._ewma_interval
+        gap = now - self._last_time
+        if gap > self.idle_factor * self._ewma_interval and gap > 0:
+            # The stream went quiet: the history says "busy" but the
+            # present disagrees — decay toward the observed silence.
+            return min(predicted, 1.0 / gap)
+        return predicted
+
+    def select_rate(self, now: float) -> float:
+        return self.table.lookup(self.forecast_rate(now))

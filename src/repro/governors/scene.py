@@ -1,0 +1,85 @@
+"""EVSO-style per-scene rate governor (zoo extension).
+
+EVSO's observation: video playback is piecewise-stationary.  Within a
+scene the inter-frame similarity — and therefore the meaningful frame
+rate the grid meter measures — barely moves, so re-deciding the
+refresh rate every control period only adds switch churn.  This
+policy segments playback into scenes using the meter's windowed
+content rate as its similarity signal: a scene opens with one section
+-table lookup, that rate is *latched*, and it holds until the
+measured rate drifts far enough from the scene's opening estimate to
+declare a boundary.
+
+Compared to the paper's section control this trades reaction latency
+inside a scene for far fewer rate switches; the tournament shows the
+trade explicitly in the ``rate_switches`` column.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.content_rate import ContentRateMeter
+from ..core.governor import GovernorPolicy
+from ..core.section_table import SectionTable
+from ..errors import ConfigurationError
+from ..units import ensure_positive
+
+
+class SceneRateGovernor(GovernorPolicy):
+    """One refresh rate per detected scene.
+
+    Parameters
+    ----------
+    table:
+        Section table mapping a content-rate estimate to a panel rate
+        (scene openings reuse Equation 1, keeping the headroom
+        property inside every scene).
+    meter:
+        The grid-backed content-rate meter supplying the inter-frame
+        similarity signal.
+    window_s:
+        Sliding window of the meter reads.
+    change_fraction:
+        Scene-boundary sensitivity: a new scene opens when the
+        measured rate differs from the scene's opening estimate by
+        more than this fraction of it (with a 1 fps floor so silent
+        scenes still end when content starts).
+    """
+
+    name = "scene-rate"
+
+    def __init__(self, table: SectionTable, meter: ContentRateMeter,
+                 window_s: Optional[float] = None,
+                 change_fraction: float = 0.5) -> None:
+        if change_fraction <= 0:
+            raise ConfigurationError(
+                f"change_fraction must be > 0, got {change_fraction}")
+        self.table = table
+        self.meter = meter
+        self.window_s = None if window_s is None else ensure_positive(
+            window_s, "window_s")
+        self.change_fraction = change_fraction
+        self._scene_rate: Optional[float] = None
+        self._scene_content = 0.0
+        self._scenes = 0
+
+    @property
+    def scenes(self) -> int:
+        """Scenes opened so far (>= 1 once the first decision ran)."""
+        return self._scenes
+
+    def _open_scene(self, content: float) -> float:
+        self._scenes += 1
+        self._scene_content = content
+        self._scene_rate = self.table.lookup(content)
+        return self._scene_rate
+
+    def select_rate(self, now: float) -> float:
+        content = self.meter.content_rate(now, self.window_s)
+        if self._scene_rate is None:
+            return self._open_scene(content)
+        tolerance = self.change_fraction * max(self._scene_content, 1.0)
+        if abs(content - self._scene_content) > tolerance:
+            return self._open_scene(content)
+        return self._scene_rate

@@ -259,7 +259,8 @@ class SessionBuilder:
             application=self._need(self.application, "application"),
             content_window_s=config.content_window_s,
             boost_hold_s=config.boost_hold_s,
-            table_bias=config.table_bias)
+            table_bias=config.table_bias,
+            framebuffer=self._need(self.framebuffer, "framebuffer"))
         policy = build_governor(config.governor, context)
         driven_policy: GovernorPolicy = policy
         if self.injector is not None and config.watchdog:

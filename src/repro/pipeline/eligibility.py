@@ -45,6 +45,9 @@ if TYPE_CHECKING:
     from ..sim.session import SessionConfig
 
 #: Builtin governors whose decisions the vector fast path can replicate.
+#: This is an *allowlist*: any selector not named here — including the
+#: governor zoo and third-party registry extensions — routes to the
+#: scalar engine automatically.
 VECTOR_GOVERNORS: Tuple[str, ...] = (
     GOVERNOR_FIXED,
     GOVERNOR_SECTION,
@@ -52,17 +55,28 @@ VECTOR_GOVERNORS: Tuple[str, ...] = (
     GOVERNOR_NAIVE,
 )
 
+#: Stable machine-readable disqualifier codes (paired 1:1 with the
+#: prose ``reasons``; tooling keys on these, prose may be reworded).
+CODE_FAULTS = "faults"
+CODE_TELEMETRY = "telemetry"
+CODE_WORKLOAD = "workload"
+CODE_GOVERNOR = "governor"
+
 
 @dataclass(frozen=True)
 class VectorEligibility:
     """Outcome of probing one spec for vector-engine eligibility.
 
-    ``reasons`` lists every disqualifier found (empty when eligible),
-    so batch diagnostics can say *why* a session fell back.
+    ``reasons`` lists every disqualifier found (empty when eligible)
+    as human-readable prose; ``codes`` carries the matching stable
+    identifiers (``CODE_*``), index-aligned with ``reasons``, so batch
+    diagnostics can say *why* a session fell back and tooling can key
+    on the cause without parsing prose.
     """
 
     eligible: bool
     reasons: Tuple[str, ...]
+    codes: Tuple[str, ...] = ()
 
     def __bool__(self) -> bool:
         return self.eligible
@@ -79,23 +93,29 @@ def probe_vector_eligibility(
     """
     config = spec.to_config() if isinstance(spec, SessionSpec) else spec
     reasons: list[str] = []
+    codes: list[str] = []
     if config.faults is not None:
         reasons.append(
             "fault injection requires per-read scalar control flow")
+        codes.append(CODE_FAULTS)
     if config.telemetry is not None:
         reasons.append(
             "telemetry must observe every tick (spans and counters)")
+        codes.append(CODE_TELEMETRY)
     workload = resolve_workload(config.app)
     if not isinstance(workload, AppProfile):
         reasons.append(
             f"workload {type(workload).__name__} drives every V-Sync "
             f"(wallpaper/trace replay has no skippable ticks)")
+        codes.append(CODE_WORKLOAD)
     if config.governor not in VECTOR_GOVERNORS:
         reasons.append(
             f"governor {config.governor!r} is not a vectorizable "
             f"builtin (supported: {', '.join(VECTOR_GOVERNORS)})")
+        codes.append(CODE_GOVERNOR)
     return VectorEligibility(eligible=not reasons,
-                             reasons=tuple(reasons))
+                             reasons=tuple(reasons),
+                             codes=tuple(codes))
 
 
 def vector_eligible(

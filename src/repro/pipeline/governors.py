@@ -2,10 +2,11 @@
 
 Every place that used to re-implement ``if governor == "fixed": ...``
 dispatch — ``run_session``, the CLI, the batch runner, the experiment
-drivers — now consults :data:`GOVERNORS`.  The seven builtin selectors
+drivers — now consults :data:`GOVERNORS`.  The builtin selectors
 reproduce :data:`repro.sim.session.GOVERNOR_CHOICES` exactly, in the
-documented order, and build byte-identical policy stacks to the old
-inline chain.
+documented order: the paper's seven policies first, then the
+related-work governor zoo (luminance, scene, burst, predictive — see
+``docs/governors.md`` for the paper lineage of each).
 
 Adding a governor takes one module and no edits elsewhere::
 
@@ -35,7 +36,7 @@ worker processes by pickle-by-reference (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 from ..apps.base import Application
 from ..baselines.e3 import E3ScrollGovernor
@@ -52,6 +53,14 @@ from ..core.hysteresis import HysteresisGovernor
 from ..core.section_table import SectionTable
 from ..display.panel import DisplayPanel
 from ..display.spec import PanelSpec
+from ..errors import ConfigurationError
+from ..governors import (
+    BurstRefreshGovernor,
+    ContentLuminanceGovernor,
+    PredictiveRateGovernor,
+    SceneRateGovernor,
+)
+from ..graphics.framebuffer import Framebuffer
 from .registry import Registry
 
 #: Builtin selector strings, registered below in documented order.
@@ -62,6 +71,11 @@ GOVERNOR_SECTION_HYSTERESIS = "section+hysteresis"
 GOVERNOR_NAIVE = "naive"
 GOVERNOR_ORACLE = "oracle"
 GOVERNOR_E3 = "e3"
+#: The governor zoo (related-work policies; see docs/governors.md).
+GOVERNOR_LUMINANCE = "luminance"
+GOVERNOR_SCENE = "scene"
+GOVERNOR_BURST = "burst"
+GOVERNOR_PREDICTIVE = "predictive"
 
 
 @dataclass(frozen=True)
@@ -90,6 +104,12 @@ class GovernorContext:
     table_bias:
         Quality-priority bias applied to the section table
         (:meth:`~repro.core.section_table.SectionTable.biased`).
+    framebuffer:
+        The session framebuffer, for content-aware policies that price
+        the displayed pixels (the luminance governor).  Optional so
+        hand-built contexts without a framebuffer keep working; the
+        factories that need it raise
+        :class:`~repro.errors.ConfigurationError` when absent.
     """
 
     panel: DisplayPanel
@@ -98,6 +118,7 @@ class GovernorContext:
     content_window_s: float = 1.0
     boost_hold_s: float = 1.0
     table_bias: int = 0
+    framebuffer: Optional[Framebuffer] = None
 
     @property
     def spec(self) -> PanelSpec:
@@ -171,6 +192,42 @@ def make_e3(context: GovernorContext) -> GovernorPolicy:
     """Interaction-driven baseline (Han [16])."""
     return E3ScrollGovernor(low_rate_hz=context.spec.min_refresh_hz,
                             high_rate_hz=context.spec.max_refresh_hz)
+
+
+@GOVERNORS.register(GOVERNOR_LUMINANCE, builtin=True)
+def make_luminance(context: GovernorContext) -> GovernorPolicy:
+    """SmartNight-style: section control stepped down on dark frames."""
+    if context.framebuffer is None:
+        raise ConfigurationError(
+            "the luminance governor needs a framebuffer in its "
+            "GovernorContext (content-aware policies price the "
+            "displayed pixels)")
+    return ContentLuminanceGovernor(context.section_policy(),
+                                    context.framebuffer,
+                                    context.spec.refresh_rates_hz)
+
+
+@GOVERNORS.register(GOVERNOR_SCENE, builtin=True)
+def make_scene(context: GovernorContext) -> GovernorPolicy:
+    """EVSO-style: one latched rate per detected scene."""
+    table = SectionTable.for_panel(context.spec).biased(context.table_bias)
+    return SceneRateGovernor(table, context.meter,
+                             window_s=context.content_window_s)
+
+
+@GOVERNORS.register(GOVERNOR_BURST, builtin=True)
+def make_burst(context: GovernorContext) -> GovernorPolicy:
+    """BurstLink-style: duty-cycled max-rate bursts over a floor."""
+    return BurstRefreshGovernor(context.spec.refresh_rates_hz,
+                                context.meter,
+                                window_s=context.content_window_s)
+
+
+@GOVERNORS.register(GOVERNOR_PREDICTIVE, builtin=True)
+def make_predictive(context: GovernorContext) -> GovernorPolicy:
+    """Dynamic-Sampling-Rate-style: forecast-driven section lookup."""
+    table = SectionTable.for_panel(context.spec).biased(context.table_bias)
+    return PredictiveRateGovernor(table, context.meter)
 
 
 def governor_names() -> Tuple[str, ...]:

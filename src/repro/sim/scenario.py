@@ -248,7 +248,8 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         meter=config.meter, decision_period_s=config.decision_period_s,
         boost_hold_s=config.boost_hold_s)
     policy = build_policy(policy_config, panel, meter,
-                          segments[0].application)
+                          segments[0].application,
+                          framebuffer=framebuffer)
     driver = GovernorDriver(sim, panel, policy,
                             config.decision_period_s)
 

@@ -247,7 +247,8 @@ class VectorRunner(SessionRunner):
                 "config is not vector-eligible: "
                 + "; ".join(verdict.reasons),
                 context={"subsystem": "vector",
-                         "reasons": list(verdict.reasons)})
+                         "reasons": list(verdict.reasons),
+                         "codes": list(verdict.codes)})
         super().__init__(source)
         builder = self.builder
         self._compositor: "SurfaceManager" = builder._need(

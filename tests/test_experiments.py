@@ -193,7 +193,7 @@ class TestRegistry:
         ids = {e.experiment_id for e in EXPERIMENTS}
         assert ids == {"fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
                        "fig9", "fig10", "fig11", "table1",
-                       "resilience"}
+                       "tournament", "resilience"}
 
     def test_lookup(self):
         info = experiment("fig9")

@@ -8,12 +8,14 @@ import pytest
 from repro.analysis.sweep import (
     METRIC_FIELDS,
     SWEEP_SCHEMA,
+    _format_stat,
     compare_sweep,
     expand_grid,
     format_regressions,
     format_sweep,
     parse_grid,
     run_sweep,
+    t_critical_95,
 )
 from repro.cache import ResultCache
 from repro.errors import ConfigurationError
@@ -73,14 +75,37 @@ class TestRunSweep:
             stats = aggregate["metrics"]["mean_power_mw"]
             assert stats["n"] == 2
             assert stats["mean"] > 0
+            # n=2 -> df=1 -> the Student-t critical value, not z=1.96.
             assert stats["ci95"] == pytest.approx(
-                1.96 * stats["std"] / (2 ** 0.5))
+                12.706 * stats["std"] / (2 ** 0.5))
 
-    def test_single_seed_has_zero_ci(self):
+    def test_single_seed_has_null_ci(self):
+        # One seed carries no dispersion information: std/ci95 must be
+        # null, never 0.0 (which would render as perfect certainty).
         document = run_sweep(BASE, {}, seeds=[1], workers=1)
         stats = document["aggregates"][0]["metrics"]["mean_power_mw"]
-        assert stats == {"mean": stats["mean"], "std": 0.0,
-                         "ci95": 0.0, "n": 1}
+        assert stats == {"mean": stats["mean"], "std": None,
+                         "ci95": None, "n": 1}
+
+    def test_t_critical_values(self):
+        from repro.errors import ConfigurationError
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(4) == pytest.approx(2.776)
+        assert t_critical_95(30) == pytest.approx(2.042)
+        # Between table rows df rounds down (conservative widening).
+        assert t_critical_95(35) == pytest.approx(2.042)
+        assert t_critical_95(1000) == pytest.approx(1.980)
+        with pytest.raises(ConfigurationError):
+            t_critical_95(0)
+
+    def test_zero_width_interval_still_annotated(self):
+        # All seeds agreeing exactly is a legitimate CI of width zero;
+        # the falsy-float guard used to drop the annotation silently.
+        text = _format_stat({"mean": 5.0, "std": 0.0, "ci95": 0.0,
+                             "n": 3})
+        assert text == "5.0 ±0.0"
+        assert _format_stat({"mean": 5.0, "std": None, "ci95": None,
+                             "n": 1}) == "5.0"
 
     def test_worker_count_never_changes_the_document(self, document):
         pooled = run_sweep(BASE, GRID, seeds=[0, 1], workers=2)
